@@ -1,0 +1,269 @@
+// Package rnnheatmap holds the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation (Section VIII).
+// The workloads are scaled down so `go test -bench=.` finishes in minutes;
+// cmd/experiments runs the same sweeps at larger scale and EXPERIMENTS.md
+// records a full run against the paper's numbers.
+package rnnheatmap
+
+import (
+	"fmt"
+	"testing"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/dataset"
+	"rnnheatmap/internal/experiment"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/render"
+)
+
+// benchWorkload builds a reproducible workload of nO clients and nF
+// facilities from a named data set.
+func benchWorkload(b *testing.B, ds string, nO, nF int, metric geom.Metric) []nncircle.NNCircle {
+	b.Helper()
+	pool, err := dataset.ByName(ds, (nO+nF)*2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients, facilities := pool.SampleClientsFacilities(nO, nF, 17)
+	ncs, err := nncircle.Compute(clients, facilities, metric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ncs
+}
+
+var benchSink *core.Result
+
+// BenchmarkTable2Datasets measures generation of the four experiment data
+// sets (Table II inventory; the city generators stand in for the real POI
+// files).
+func BenchmarkTable2Datasets(b *testing.B) {
+	for _, name := range dataset.Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dataset.ByName(name, 20000, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1HeatMapRender measures the end-to-end Fig. 1 pipeline at
+// reduced scale: NN-circles for a sampled NYC workload plus rasterization.
+func BenchmarkFig1HeatMapRender(b *testing.B) {
+	ncs := benchWorkload(b, "NYC", 5000, 1500, geom.L2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := render.HeatMap(ncs, render.Options{Width: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2DensityVsInfluence measures the Fig. 2 demonstration.
+func BenchmarkFig2DensityVsInfluence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig2(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3GenericMeasure measures the connectivity-measure heat map of
+// the taxi-sharing example (Fig. 3(c)) against the plain size measure.
+func BenchmarkFig3GenericMeasure(b *testing.B) {
+	ncs := benchWorkload(b, "Uniform", 2000, 100, geom.LInf)
+	edges := make([][2]int, 0, 2000)
+	for i := 0; i+1 < 2000; i += 2 {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	for _, m := range []influence.Measure{influence.Size(), influence.Connectivity(edges)} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.CREST(ncs, core.Options{Measure: m, DiscardLabels: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = res
+			}
+		})
+	}
+}
+
+// BenchmarkFig16 reproduces the shape of Fig. 16 (effect of |O|/|F| with the
+// L1 metric): BA vs CREST-A vs CREST at a reduced |O| so the baseline
+// remains feasible inside a benchmark run.
+func BenchmarkFig16(b *testing.B) {
+	const nO = 1 << 9
+	for _, ratioExp := range []int{1, 4, 7} {
+		ncs := benchWorkload(b, "Uniform", nO, max(1, nO>>ratioExp), geom.L1)
+		for _, alg := range []string{"BA", "CREST-A", "CREST"} {
+			b.Run(fmt.Sprintf("ratio=2^%d/%s", ratioExp, alg), func(b *testing.B) {
+				opts := core.Options{Measure: influence.Size(), DiscardLabels: true}
+				for i := 0; i < b.N; i++ {
+					var err error
+					switch alg {
+					case "BA":
+						benchSink, err = core.Baseline(ncs, opts)
+					case "CREST-A":
+						benchSink, err = core.CRESTA(ncs, opts)
+					case "CREST":
+						benchSink, err = core.CREST(ncs, opts)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(benchSink.Stats.Labelings), "labelings")
+			})
+		}
+	}
+}
+
+// BenchmarkFig17 reproduces the shape of Fig. 17 (effect of data set size
+// with L1): CREST and CREST-A across growing |O| at ratio 2^7; the baseline
+// is included only at the smallest size (the paper cuts it off at 24 hours).
+func BenchmarkFig17(b *testing.B) {
+	for _, sizeExp := range []int{9, 11, 13} {
+		nO := 1 << sizeExp
+		ncs := benchWorkload(b, "Zipfian", nO, max(1, nO>>7), geom.L1)
+		algs := []string{"CREST-A", "CREST"}
+		if sizeExp == 9 {
+			algs = append([]string{"BA"}, algs...)
+		}
+		for _, alg := range algs {
+			b.Run(fmt.Sprintf("O=2^%d/%s", sizeExp, alg), func(b *testing.B) {
+				opts := core.Options{Measure: influence.Size(), DiscardLabels: true}
+				for i := 0; i < b.N; i++ {
+					var err error
+					switch alg {
+					case "BA":
+						benchSink, err = core.Baseline(ncs, opts)
+					case "CREST-A":
+						benchSink, err = core.CRESTA(ncs, opts)
+					case "CREST":
+						benchSink, err = core.CREST(ncs, opts)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig18 reproduces the shape of Fig. 18 (effect of |O|/|F| with the
+// L2 metric) on the maximum-influence task: the Pruning comparator versus
+// CREST-L2 with the capacity-constrained candidate gain.
+func BenchmarkFig18(b *testing.B) {
+	const nO = 1 << 9
+	for _, ratioExp := range []int{1, 3, 5} {
+		ncs := benchWorkload(b, "Uniform", nO, max(1, nO>>ratioExp), geom.L2)
+		for _, alg := range []string{"Pruning", "CREST-L2"} {
+			b.Run(fmt.Sprintf("ratio=2^%d/%s", ratioExp, alg), func(b *testing.B) {
+				opts := core.Options{Measure: influence.Gain(8), DiscardLabels: true}
+				for i := 0; i < b.N; i++ {
+					var err error
+					if alg == "Pruning" {
+						benchSink, err = core.PruningMax(ncs, opts, 50000)
+					} else {
+						benchSink, err = core.CRESTL2(ncs, opts)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig19 reproduces the shape of Fig. 19 (effect of data set size
+// with L2) at ratio 2^5.
+func BenchmarkFig19(b *testing.B) {
+	for _, sizeExp := range []int{8, 10} {
+		nO := 1 << sizeExp
+		ncs := benchWorkload(b, "NYC", nO, max(1, nO>>5), geom.L2)
+		for _, alg := range []string{"Pruning", "CREST-L2"} {
+			b.Run(fmt.Sprintf("O=2^%d/%s", sizeExp, alg), func(b *testing.B) {
+				opts := core.Options{Measure: influence.Gain(8), DiscardLabels: true}
+				for i := 0; i < b.N; i++ {
+					var err error
+					if alg == "Pruning" {
+						benchSink, err = core.PruningMax(ncs, opts, 50000)
+					} else {
+						benchSink, err = core.CRESTL2(ncs, opts)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationLabeling quantifies the changed-interval optimization
+// (Section V-C): the number of region-labeling operations of CREST versus
+// CREST-A and versus the baseline's grid cells, reported as custom metrics.
+func BenchmarkAblationLabeling(b *testing.B) {
+	ncs := benchWorkload(b, "Zipfian", 1<<10, 1<<3, geom.L1)
+	opts := core.Options{Measure: influence.Size(), DiscardLabels: true}
+	b.Run("CREST-vs-CREST-A", func(b *testing.B) {
+		var crest, cresta *core.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			crest, err = core.CREST(ncs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cresta, err = core.CRESTA(ncs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(crest.Stats.Labelings), "crest-labelings")
+		b.ReportMetric(float64(cresta.Stats.Labelings), "cresta-labelings")
+		b.ReportMetric(float64(cresta.Stats.Labelings)/float64(crest.Stats.Labelings), "reduction-factor")
+	})
+}
+
+// BenchmarkAblationEnclosureIndex compares the two point-enclosure index
+// implementations the baseline can use (R-tree vs stripe index), an
+// implementation choice DESIGN.md calls out.
+func BenchmarkAblationEnclosureIndex(b *testing.B) {
+	ncs := benchWorkload(b, "Uniform", 1<<11, 1<<5, geom.LInf)
+	opts := core.Options{Measure: influence.Size(), DiscardLabels: true}
+	// The baseline always uses the R-tree index internally; this ablation
+	// times the full baseline against CREST to expose the enclosure-query
+	// cost the paper's Section IV analysis attributes to it.
+	b.Run("baseline-rtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			benchSink, err = core.Baseline(ncs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("crest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			benchSink, err = core.CREST(ncs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+// Command crest builds an RNN heat map from CSV point files or one of the
+// built-in data set generators and writes it as a PNG image, optionally
+// printing the top-k most influential regions.
+//
+// Examples:
+//
+//	crest -dataset NYC -clients 20000 -facilities 6000 -metric l2 -png nyc.png
+//	crest -clients-csv clients.csv -facilities-csv facilities.csv -metric l1 -topk 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rnnheatmap/heatmap"
+	"rnnheatmap/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crest: ")
+
+	var (
+		dsName        = flag.String("dataset", "NYC", "built-in data set to sample from (NYC, LA, Uniform, Zipfian)")
+		clientsN      = flag.Int("clients", 2000, "number of clients to sample")
+		facilitiesN   = flag.Int("facilities", 600, "number of facilities to sample")
+		clientsCSV    = flag.String("clients-csv", "", "CSV file of client points (overrides -dataset)")
+		facilitiesCSV = flag.String("facilities-csv", "", "CSV file of facility points (overrides -dataset)")
+		metricName    = flag.String("metric", "l2", "distance metric: linf, l1 or l2")
+		algorithm     = flag.String("algorithm", "crest", "region coloring algorithm: crest, crest-a or baseline")
+		pngPath       = flag.String("png", "", "write the heat map to this PNG file")
+		pngWidth      = flag.Int("width", 800, "PNG width in pixels")
+		topK          = flag.Int("topk", 5, "print the top-k most influential regions")
+		ascii         = flag.Bool("ascii", false, "print an ASCII preview of the heat map")
+		seed          = flag.Int64("seed", 1, "random seed for sampling")
+	)
+	flag.Parse()
+
+	metric, err := parseMetric(*metricName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clients, facilities, err := loadPoints(*dsName, *clientsN, *facilitiesN, *clientsCSV, *facilitiesCSV, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := heatmap.Build(heatmap.Config{
+		Clients:    clients,
+		Facilities: facilities,
+		Metric:     metric,
+		Algorithm:  heatmap.Algorithm(*algorithm),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := m.Stats()
+	fmt.Printf("clients=%d facilities=%d metric=%s algorithm=%s\n", len(clients), len(facilities), metric, *algorithm)
+	fmt.Printf("regions labeled: %d  events: %d  max RNN set size: %d  time: %v\n",
+		stats.Labelings, stats.Events, stats.MaxRNNSetSize, stats.Duration)
+
+	maxHeat, best := m.MaxHeat()
+	fmt.Printf("maximum influence: %.2f at %s (RNN set size %d)\n", maxHeat, best.Point, len(best.RNN))
+
+	if *topK > 0 {
+		fmt.Printf("\ntop %d regions by influence:\n", *topK)
+		for i, r := range m.TopK(*topK) {
+			fmt.Printf("  %2d. heat=%.2f at %s, %d clients\n", i+1, r.Heat, r.Point, len(r.RNN))
+		}
+	}
+
+	if *ascii {
+		art, err := m.ASCII(72)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(art)
+	}
+
+	if *pngPath != "" {
+		if err := m.SavePNG(*pngPath, *pngWidth); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nheat map written to %s\n", *pngPath)
+	}
+}
+
+func parseMetric(name string) (heatmap.Metric, error) {
+	switch strings.ToLower(name) {
+	case "linf", "l∞", "chebyshev":
+		return heatmap.LInf, nil
+	case "l1", "manhattan":
+		return heatmap.L1, nil
+	case "l2", "euclidean":
+		return heatmap.L2, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want linf, l1 or l2)", name)
+	}
+}
+
+func loadPoints(dsName string, nClients, nFacilities int, clientsCSV, facilitiesCSV string, seed int64) ([]heatmap.Point, []heatmap.Point, error) {
+	if clientsCSV != "" || facilitiesCSV != "" {
+		if clientsCSV == "" || facilitiesCSV == "" {
+			return nil, nil, fmt.Errorf("both -clients-csv and -facilities-csv are required when loading from CSV")
+		}
+		cd, err := dataset.LoadCSV("clients", clientsCSV)
+		if err != nil {
+			return nil, nil, err
+		}
+		fd, err := dataset.LoadCSV("facilities", facilitiesCSV)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cd.Points, fd.Points, nil
+	}
+	pool := (nClients + nFacilities) * 2
+	ds, err := dataset.ByName(dsName, pool, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "available data sets:", strings.Join(dataset.Names(), ", "))
+		return nil, nil, err
+	}
+	clients, facilities := ds.SampleClientsFacilities(nClients, nFacilities, seed+1)
+	return clients, facilities, nil
+}

@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's evaluation: the running-time
+// sweeps of Figures 16-19, the data set inventory of Table II and the
+// density-versus-influence contrast of Fig. 2. Each experiment prints a text
+// table; EXPERIMENTS.md records a full run next to the paper's numbers.
+//
+// A full paper-scale run takes hours (the baseline and the Pruning
+// comparator are intentionally slow — that is the point of the comparison),
+// so the default is a reduced "quick" scale; pass -scale paper for the full
+// sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"rnnheatmap/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: fig2, table2, fig16, fig17, fig18, fig19 or all")
+		scale    = flag.String("scale", "quick", "quick (minutes) or paper (hours)")
+		datasets = flag.String("datasets", "", "comma separated data sets (default: LA,NYC,Uniform,Zipfian)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := experiment.SweepConfig{Seed: *seed}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var ratioExps, sizeExps, l2Ratios, l2Sizes []int
+	switch *scale {
+	case "paper":
+		ratioExps = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		sizeExps = []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+		l2Ratios = []int{1, 2, 3, 4, 5, 6, 7}
+		l2Sizes = []int{7, 8, 9, 10, 11, 12, 13}
+		cfg.BaselineLimit = 1 << 13
+		cfg.PruningBudget = 0
+	case "quick":
+		ratioExps = []int{1, 4, 7, 10}
+		sizeExps = []int{7, 9, 11, 13}
+		l2Ratios = []int{1, 3, 5}
+		l2Sizes = []int{7, 9, 11}
+		cfg.BaselineLimit = 1 << 10
+		cfg.PruningBudget = 50000
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("table2") {
+		fmt.Println("Table II — data sets (simulated stand-ins, same cardinality)")
+		for _, r := range experiment.Table2() {
+			fmt.Printf("  %-4s %s\n", r.Dataset, r.Param)
+		}
+		fmt.Println()
+	}
+	if run("fig2") {
+		res, err := experiment.Fig2(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Fig. 2 — client density vs. influence")
+		fmt.Printf("  densest client cell around %s (%d clients, saturated with facilities)\n",
+			res.DensestCell, res.DensestCellCount)
+		fmt.Printf("  most influential region at %s with influence %.0f (same cell: %v)\n\n",
+			res.BestRegionPoint, res.BestRegionHeat, res.SameCell)
+	}
+	type sweep struct {
+		name string
+		run  func() ([]experiment.Row, error)
+	}
+	sweeps := []sweep{
+		{"fig16", func() ([]experiment.Row, error) { return experiment.Fig16(cfg, ratioExps) }},
+		{"fig17", func() ([]experiment.Row, error) { return experiment.Fig17(cfg, sizeExps) }},
+		{"fig18", func() ([]experiment.Row, error) { return experiment.Fig18(cfg, l2Ratios) }},
+		{"fig19", func() ([]experiment.Row, error) { return experiment.Fig19(cfg, l2Sizes) }},
+	}
+	for _, s := range sweeps {
+		if !run(s.name) {
+			continue
+		}
+		rows, err := s.run()
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		fmt.Println(experiment.FormatTable(rows))
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build an RNN heat map for a simulated New York City workload
+// (the scenario of Fig. 1 in the paper), report the most influential
+// regions and write the map to a PNG file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rnnheatmap/heatmap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Sample a courier-style workload from the simulated NYC point set:
+	// 20,000 potential clients and 6,000 existing service points, the sizes
+	// used for Fig. 1 of the paper (scaled down here to keep the quickstart
+	// fast; raise the numbers for the full-resolution map).
+	city := heatmap.NewYorkLike(60000, 42)
+	clients, facilities := city.SampleClientsFacilities(20000, 6000, 7)
+
+	m, err := heatmap.Build(heatmap.Config{
+		Clients:    clients,
+		Facilities: facilities,
+		Metric:     heatmap.L2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := m.Stats()
+	fmt.Printf("built heat map over %d NN-circles: %d regions labeled in %v\n",
+		stats.Circles, stats.Labelings, stats.Duration)
+
+	maxHeat, best := m.MaxHeat()
+	fmt.Printf("most influential location: %s would capture %d clients (influence %.0f)\n",
+		best.Point, len(best.RNN), maxHeat)
+
+	fmt.Println("\ntop 5 candidate regions:")
+	for i, r := range m.TopK(5) {
+		fmt.Printf("  %d. influence %.0f at %s\n", i+1, r.Heat, r.Point)
+	}
+
+	// Query an arbitrary location, e.g. a spot in Midtown Manhattan.
+	p := heatmap.Pt(-73.985, 40.755)
+	heat, rnn := m.HeatAt(p)
+	fmt.Printf("\nheat at %s: %.0f (%d clients would switch)\n", p, heat, len(rnn))
+
+	if err := m.SavePNG("nyc_heatmap.png", 800); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote nyc_heatmap.png (darker = more influential)")
+}

@@ -1,0 +1,278 @@
+// Package heatmap is the public API of the library: it builds reverse
+// nearest neighbor (RNN) heat maps as described in "Reverse Nearest Neighbor
+// Heat Maps: A Tool for Influence Exploration" (Sun et al., ICDE 2016).
+//
+// Given a client set O and a facility set F, the heat of a location p is an
+// influence value computed from p's RNN set — the clients that would have p
+// as their nearest facility if p were added to F. The package computes the
+// heat of every point in the plane at once by reducing the problem to Region
+// Coloring and solving it with the CREST sweep-line algorithm (or, on
+// request, the baseline algorithms the paper compares against), then exposes
+// the labeled regions for exploration: querying, top-k, thresholding and
+// rendering to PNG.
+//
+// A minimal use looks like:
+//
+//	m, err := heatmap.Build(heatmap.Config{Clients: clients, Facilities: facilities})
+//	if err != nil { ... }
+//	top := m.TopK(5)
+//	err = m.SavePNG("heat.png", 800)
+package heatmap
+
+import (
+	"errors"
+	"fmt"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/dataset"
+	"rnnheatmap/internal/enclosure"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+	"rnnheatmap/internal/postprocess"
+	"rnnheatmap/internal/render"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Metric selects the distance metric.
+type Metric = geom.Metric
+
+// Supported metrics.
+const (
+	LInf = geom.LInf
+	L1   = geom.L1
+	L2   = geom.L2
+)
+
+// Algorithm selects the Region Coloring algorithm.
+type Algorithm string
+
+// Available algorithms. CREST is the paper's contribution and the default;
+// the others exist for comparison and ablation.
+const (
+	AlgCREST    Algorithm = "crest"
+	AlgCRESTA   Algorithm = "crest-a"
+	AlgBaseline Algorithm = "baseline"
+)
+
+// Measure is an influence measure over RNN sets. Use Size, Weighted,
+// Connectivity, Capacity or CustomMeasure to construct one.
+type Measure = influence.Measure
+
+// Size returns the |R(p)| measure.
+func Size() Measure { return influence.Size() }
+
+// Weighted returns a measure summing per-client weights.
+func Weighted(weights []float64) Measure { return influence.Weighted(weights) }
+
+// Connectivity returns the taxi-sharing measure counting connected client
+// pairs inside the RNN set.
+func Connectivity(edges [][2]int) Measure { return influence.Connectivity(edges) }
+
+// Capacity returns the capacity-constrained measure of Sun et al. [22];
+// assignment maps each client to its current nearest facility index.
+func Capacity(assignment []int, capacities []float64, newFacilityCapacity float64) Measure {
+	return influence.Capacity(influence.CapacityContext{
+		Assignment:          assignment,
+		Capacities:          capacities,
+		NewFacilityCapacity: newFacilityCapacity,
+	})
+}
+
+// CustomMeasure adapts a function over sorted client identifiers into a
+// Measure.
+func CustomMeasure(name string, f func(clients []int) float64) Measure {
+	return influence.Func(name, func(s *oset.Set) float64 { return f(s.Sorted()) })
+}
+
+// Config describes a heat map computation.
+type Config struct {
+	// Clients is the client set O. Required unless Monochromatic is set and
+	// Facilities provided.
+	Clients []Point
+	// Facilities is the facility set F. For the monochromatic case leave it
+	// nil and set Monochromatic.
+	Facilities []Point
+	// Monochromatic treats Clients as both O and F (nearest neighbors are
+	// sought within the same set).
+	Monochromatic bool
+	// Metric is the distance metric; the zero value is L-infinity. The paper
+	// uses L1 and L2 in its experiments.
+	Metric Metric
+	// Measure is the influence measure; nil means Size().
+	Measure Measure
+	// Algorithm selects the Region Coloring algorithm; empty means CREST.
+	Algorithm Algorithm
+}
+
+// Map is a computed RNN heat map.
+type Map struct {
+	cfg     Config
+	circles []nncircle.NNCircle
+	result  *core.Result
+	index   enclosure.Index
+	measure Measure
+}
+
+// Region is one labeled region of the heat map.
+type Region struct {
+	// RNN holds the client indexes of the region's RNN set.
+	RNN []int
+	// Heat is the influence value.
+	Heat float64
+	// Point is a representative location inside the region.
+	Point Point
+}
+
+// Build computes the RNN heat map for the given configuration.
+func Build(cfg Config) (*Map, error) {
+	if len(cfg.Clients) == 0 {
+		return nil, errors.New("heatmap: no clients")
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("heatmap: invalid metric %v", cfg.Metric)
+	}
+	var (
+		circles []nncircle.NNCircle
+		err     error
+	)
+	if cfg.Monochromatic {
+		circles, err = nncircle.ComputeMono(cfg.Clients, cfg.Metric)
+	} else {
+		circles, err = nncircle.Compute(cfg.Clients, cfg.Facilities, cfg.Metric)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: computing NN-circles: %w", err)
+	}
+	measure := cfg.Measure
+	if measure == nil {
+		measure = Size()
+	}
+	opts := core.Options{Measure: measure}
+	var res *core.Result
+	switch cfg.Algorithm {
+	case "", AlgCREST:
+		res, err = core.CREST(circles, opts)
+	case AlgCRESTA:
+		res, err = core.CRESTA(circles, opts)
+	case AlgBaseline:
+		res, err = core.Baseline(circles, opts)
+	default:
+		return nil, fmt.Errorf("heatmap: unknown algorithm %q", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: %w", err)
+	}
+	return &Map{
+		cfg:     cfg,
+		circles: circles,
+		result:  res,
+		index:   enclosure.NewRTreeIndex(nncircle.Circles(circles)),
+		measure: measure,
+	}, nil
+}
+
+// Regions returns every labeled region.
+func (m *Map) Regions() []Region {
+	out := make([]Region, len(m.result.Labels))
+	for i, l := range m.result.Labels {
+		out[i] = Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
+	}
+	return out
+}
+
+// NumRegions returns the number of labeled regions.
+func (m *Map) NumRegions() int { return len(m.result.Labels) }
+
+// MaxHeat returns the largest heat value and a region attaining it.
+func (m *Map) MaxHeat() (float64, Region) {
+	l := m.result.MaxLabel
+	return m.result.MaxHeat, Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
+}
+
+// HeatAt returns the heat and RNN set of an arbitrary location, including
+// locations outside every labeled region (whose RNN set is empty).
+func (m *Map) HeatAt(p Point) (float64, []int) {
+	set := oset.New()
+	for _, id := range m.index.Enclosing(p) {
+		set.Add(m.circles[id].Client)
+	}
+	return m.measure.Influence(set), set.Sorted()
+}
+
+// TopK returns the k hottest regions with distinct RNN sets, hottest first.
+func (m *Map) TopK(k int) []Region {
+	labels := postprocess.TopK(m.result.Labels, k, true)
+	out := make([]Region, len(labels))
+	for i, l := range labels {
+		out[i] = Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
+	}
+	return out
+}
+
+// AboveThreshold returns the regions whose heat is at least minHeat.
+func (m *Map) AboveThreshold(minHeat float64) []Region {
+	labels := postprocess.Threshold(m.result.Labels, minHeat)
+	out := make([]Region, len(labels))
+	for i, l := range labels {
+		out[i] = Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
+	}
+	return out
+}
+
+// Stats exposes the work counters of the underlying Region Coloring run.
+func (m *Map) Stats() core.Stats { return m.result.Stats }
+
+// Rasterize renders the heat map into a width-pixel-wide raster using the
+// map's influence measure.
+func (m *Map) Rasterize(width int) (*render.Raster, error) {
+	return render.HeatMap(m.circles, render.Options{Width: width, Measure: m.measure})
+}
+
+// SavePNG renders the heat map to a grayscale PNG file (darker = hotter),
+// matching the presentation of the paper's figures.
+func (m *Map) SavePNG(path string, width int) error {
+	raster, err := m.Rasterize(width)
+	if err != nil {
+		return err
+	}
+	return raster.SavePNG(path, render.Grayscale)
+}
+
+// ASCII renders a coarse ASCII-art preview of the heat map.
+func (m *Map) ASCII(cols int) (string, error) {
+	raster, err := m.Rasterize(cols)
+	if err != nil {
+		return "", err
+	}
+	return raster.ASCII(cols), nil
+}
+
+// Dataset re-exports the built-in data set generators so example programs
+// can be written against the public API only.
+type Dataset = dataset.Dataset
+
+// NewYorkLike, LosAngelesLike, UniformDataset and ZipfianDataset generate
+// the four point distributions used in the paper's experiments; see package
+// dataset for details on how the city simulators substitute for the paper's
+// proprietary POI data.
+func NewYorkLike(n int, seed int64) *Dataset    { return dataset.NewYorkLike(n, seed) }
+func LosAngelesLike(n int, seed int64) *Dataset { return dataset.LosAngelesLike(n, seed) }
+
+// UniformDataset generates n uniformly distributed points in the unit square
+// scaled to [0, span]².
+func UniformDataset(n int, span float64, seed int64) *Dataset {
+	return dataset.Uniform(n, geom.Rect{MaxX: span, MaxY: span}, seed)
+}
+
+// ZipfianDataset generates n points with Zipf-skewed clustering (the paper's
+// skew coefficient is 0.2).
+func ZipfianDataset(n int, span float64, skew float64, seed int64) *Dataset {
+	return dataset.Zipfian(n, geom.Rect{MaxX: span, MaxY: span}, skew, seed)
+}

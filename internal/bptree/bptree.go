@@ -1,0 +1,388 @@
+// Package bptree implements an in-memory B+-tree with doubly linked leaves.
+//
+// CREST's line status (the structure T in Algorithm 1 of the paper) must
+// support ordered insertion and deletion of the horizontal sides of
+// NN-circles, locating the first element greater than or equal to a
+// coordinate, and walking forward and backward from any element. A B+-tree
+// with linked leaves provides all of these operations in O(log n) plus O(1)
+// per step of a walk, exactly as the paper prescribes ("a balanced search
+// tree in which the data are stored in the doubly linked leaf nodes, e.g., a
+// B+-tree").
+//
+// Keys are composite (Value float64, ID int64): the float64 carries the
+// coordinate and the ID breaks ties deterministically, which the line status
+// needs because many sides can share a y-coordinate. Deletion is performed
+// without merging underfull leaves; empty leaves and empty internal nodes are
+// removed eagerly. Because separator keys are only ever routing upper bounds,
+// stale separators never affect correctness, and the tree height never grows
+// due to deletions.
+package bptree
+
+import "fmt"
+
+// order is the maximum number of keys per node. 32 keeps nodes within a
+// couple of cache lines while keeping the tree shallow for the workloads in
+// this repository (tens of thousands of sides).
+const order = 32
+
+// Key orders items by Value, breaking ties by ID.
+type Key struct {
+	Value float64
+	ID    int64
+}
+
+// Less reports whether k sorts before l.
+func (k Key) Less(l Key) bool {
+	if k.Value != l.Value {
+		return k.Value < l.Value
+	}
+	return k.ID < l.ID
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return fmt.Sprintf("(%g,#%d)", k.Value, k.ID) }
+
+// Tree is a B+-tree mapping Keys to values of type V. The zero value is not
+// ready to use; call New.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	leaf bool
+
+	// Internal nodes: children[i] holds keys k with keys[i-1] <= k < keys[i]
+	// (keys has len(children)-1 routing separators).
+	keys     []Key
+	children []*node[V]
+
+	// Leaf nodes: entries plus sibling links.
+	entries    []entry[V]
+	prev, next *node[V]
+}
+
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	leaf := &node[V]{leaf: true}
+	return &Tree[V]{root: leaf}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Insert adds key with the given value. Inserting a key that already exists
+// replaces its value and reports replaced=true.
+func (t *Tree[V]) Insert(key Key, val V) (replaced bool) {
+	splitKey, right, replaced := t.insert(t.root, key, val)
+	if right != nil {
+		newRoot := &node[V]{
+			keys:     []Key{splitKey},
+			children: []*node[V]{t.root, right},
+		}
+		t.root = newRoot
+	}
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// insert recursively inserts into n, returning a split key and new right
+// sibling when n overflowed.
+func (t *Tree[V]) insert(n *node[V], key Key, val V) (Key, *node[V], bool) {
+	if n.leaf {
+		i := leafLowerBound(n.entries, key)
+		if i < len(n.entries) && n.entries[i].key == key {
+			n.entries[i].val = val
+			return Key{}, nil, true
+		}
+		n.entries = append(n.entries, entry[V]{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = entry[V]{key: key, val: val}
+		if len(n.entries) <= order {
+			return Key{}, nil, false
+		}
+		// Split the leaf.
+		mid := len(n.entries) / 2
+		right := &node[V]{leaf: true}
+		right.entries = append(right.entries, n.entries[mid:]...)
+		n.entries = n.entries[:mid:mid]
+		right.next = n.next
+		right.prev = n
+		if n.next != nil {
+			n.next.prev = right
+		}
+		n.next = right
+		return right.entries[0].key, right, false
+	}
+
+	ci := childIndex(n.keys, key)
+	splitKey, newChild, replaced := t.insert(n.children[ci], key, val)
+	if newChild == nil {
+		return Key{}, nil, replaced
+	}
+	// Insert the new child to the right of ci with separator splitKey.
+	n.keys = append(n.keys, Key{})
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = splitKey
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	if len(n.children) <= order {
+		return Key{}, nil, replaced
+	}
+	// Split the internal node.
+	midKeyIdx := len(n.keys) / 2
+	upKey := n.keys[midKeyIdx]
+	right := &node[V]{}
+	right.keys = append(right.keys, n.keys[midKeyIdx+1:]...)
+	right.children = append(right.children, n.children[midKeyIdx+1:]...)
+	n.keys = n.keys[:midKeyIdx:midKeyIdx]
+	n.children = n.children[:midKeyIdx+1 : midKeyIdx+1]
+	return upKey, right, replaced
+}
+
+// Delete removes key from the tree and reports whether it was present.
+func (t *Tree[V]) Delete(key Key) bool {
+	removed := t.delete(t.root, key)
+	if removed {
+		t.size--
+	}
+	// Collapse the root when it has a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node[V]{leaf: true}
+	}
+	return removed
+}
+
+func (t *Tree[V]) delete(n *node[V], key Key) bool {
+	if n.leaf {
+		i := leafLowerBound(n.entries, key)
+		if i >= len(n.entries) || n.entries[i].key != key {
+			return false
+		}
+		copy(n.entries[i:], n.entries[i+1:])
+		n.entries = n.entries[:len(n.entries)-1]
+		return true
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	removed := t.delete(child, key)
+	if !removed {
+		return false
+	}
+	empty := (child.leaf && len(child.entries) == 0) || (!child.leaf && len(child.children) == 0)
+	if empty {
+		if child.leaf {
+			// Unlink from the leaf chain.
+			if child.prev != nil {
+				child.prev.next = child.next
+			}
+			if child.next != nil {
+				child.next.prev = child.prev
+			}
+		}
+		// Remove the child and one adjacent separator.
+		copy(n.children[ci:], n.children[ci+1:])
+		n.children = n.children[:len(n.children)-1]
+		if len(n.keys) > 0 {
+			ki := ci
+			if ki >= len(n.keys) {
+				ki = len(n.keys) - 1
+			}
+			copy(n.keys[ki:], n.keys[ki+1:])
+			n.keys = n.keys[:len(n.keys)-1]
+		}
+	}
+	return true
+}
+
+// Get returns the value stored at key.
+func (t *Tree[V]) Get(key Key) (V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := leafLowerBound(n.entries, key)
+	if i < len(n.entries) && n.entries[i].key == key {
+		return n.entries[i].val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Min returns an iterator at the smallest entry, invalid when the tree is
+// empty.
+func (t *Tree[V]) Min() Iterator[V] {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	// Skip over empty leading leaves (possible only transiently).
+	for n != nil && len(n.entries) == 0 {
+		n = n.next
+	}
+	if n == nil {
+		return Iterator[V]{}
+	}
+	return Iterator[V]{leaf: n, idx: 0}
+}
+
+// Max returns an iterator at the largest entry, invalid when the tree is
+// empty.
+func (t *Tree[V]) Max() Iterator[V] {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	for n != nil && len(n.entries) == 0 {
+		n = n.prev
+	}
+	if n == nil {
+		return Iterator[V]{}
+	}
+	return Iterator[V]{leaf: n, idx: len(n.entries) - 1}
+}
+
+// Seek returns an iterator positioned at the first entry with key >= key.
+// The iterator is invalid when no such entry exists.
+func (t *Tree[V]) Seek(key Key) Iterator[V] {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := leafLowerBound(n.entries, key)
+	it := Iterator[V]{leaf: n, idx: i}
+	if i >= len(n.entries) {
+		it = it.advanceToNextLeaf()
+	}
+	return it
+}
+
+// SeekBefore returns an iterator positioned at the last entry with key < key,
+// invalid when no such entry exists.
+func (t *Tree[V]) SeekBefore(key Key) Iterator[V] {
+	it := t.Seek(key)
+	if !it.Valid() {
+		return t.Max()
+	}
+	return it.Prev()
+}
+
+// Ascend calls f on every entry in ascending key order until f returns false.
+func (t *Tree[V]) Ascend(f func(Key, V) bool) {
+	for it := t.Min(); it.Valid(); it = it.Next() {
+		if !f(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys in ascending order. Intended for tests and debugging.
+func (t *Tree[V]) Keys() []Key {
+	out := make([]Key, 0, t.size)
+	t.Ascend(func(k Key, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Iterator is a position within the tree's leaf chain. The zero value is
+// invalid. Iterators are invalidated by tree mutations.
+type Iterator[V any] struct {
+	leaf *node[V]
+	idx  int
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it Iterator[V]) Valid() bool {
+	return it.leaf != nil && it.idx >= 0 && it.idx < len(it.leaf.entries)
+}
+
+// Key returns the key at the iterator. It panics when invalid.
+func (it Iterator[V]) Key() Key { return it.leaf.entries[it.idx].key }
+
+// Value returns the value at the iterator. It panics when invalid.
+func (it Iterator[V]) Value() V { return it.leaf.entries[it.idx].val }
+
+// Next returns an iterator at the next entry in ascending order.
+func (it Iterator[V]) Next() Iterator[V] {
+	if !it.Valid() {
+		return Iterator[V]{}
+	}
+	it.idx++
+	if it.idx < len(it.leaf.entries) {
+		return it
+	}
+	return it.advanceToNextLeaf()
+}
+
+func (it Iterator[V]) advanceToNextLeaf() Iterator[V] {
+	n := it.leaf.next
+	for n != nil && len(n.entries) == 0 {
+		n = n.next
+	}
+	if n == nil {
+		return Iterator[V]{}
+	}
+	return Iterator[V]{leaf: n, idx: 0}
+}
+
+// Prev returns an iterator at the previous entry in ascending order.
+func (it Iterator[V]) Prev() Iterator[V] {
+	if it.leaf == nil {
+		return Iterator[V]{}
+	}
+	it.idx--
+	if it.idx >= 0 && it.idx < len(it.leaf.entries) {
+		return it
+	}
+	n := it.leaf.prev
+	for n != nil && len(n.entries) == 0 {
+		n = n.prev
+	}
+	if n == nil {
+		return Iterator[V]{}
+	}
+	return Iterator[V]{leaf: n, idx: len(n.entries) - 1}
+}
+
+// leafLowerBound returns the first index i with entries[i].key >= key.
+func leafLowerBound[V any](entries []entry[V], key Key) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].key.Less(key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child slot to descend into for key given the
+// routing separators keys: the first i such that key < keys[i], or
+// len(keys) when key >= all separators.
+func childIndex(keys []Key, key Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid].Less(key) || keys[mid] == key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,381 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func k(v float64, id int64) Key { return Key{Value: v, ID: id} }
+
+func TestKeyLessAndString(t *testing.T) {
+	if !k(1, 0).Less(k(2, 0)) || k(2, 0).Less(k(1, 0)) {
+		t.Errorf("value ordering wrong")
+	}
+	if !k(1, 1).Less(k(1, 2)) || k(1, 2).Less(k(1, 1)) {
+		t.Errorf("ID tie-break wrong")
+	}
+	if k(1, 1).Less(k(1, 1)) {
+		t.Errorf("key should not be less than itself")
+	}
+	if k(3, 7).String() != "(3,#7)" {
+		t.Errorf("String = %q", k(3, 7).String())
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[string]()
+	if tr.Len() != 0 {
+		t.Fatalf("new tree should be empty")
+	}
+	if replaced := tr.Insert(k(1, 1), "a"); replaced {
+		t.Errorf("fresh insert should not report replacement")
+	}
+	tr.Insert(k(2, 2), "b")
+	tr.Insert(k(0.5, 3), "c")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(k(2, 2)); !ok || v != "b" {
+		t.Errorf("Get = %q,%v", v, ok)
+	}
+	if _, ok := tr.Get(k(9, 9)); ok {
+		t.Errorf("Get of missing key should fail")
+	}
+	if replaced := tr.Insert(k(1, 1), "a2"); !replaced {
+		t.Errorf("re-insert should report replacement")
+	}
+	if v, _ := tr.Get(k(1, 1)); v != "a2" {
+		t.Errorf("value not replaced: %q", v)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("replacement should not change Len")
+	}
+	if !tr.Delete(k(1, 1)) {
+		t.Errorf("delete of present key should succeed")
+	}
+	if tr.Delete(k(1, 1)) {
+		t.Errorf("double delete should fail")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestOrderedIterationSmall(t *testing.T) {
+	tr := New[int]()
+	vals := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, v := range vals {
+		tr.Insert(k(v, int64(i)), i)
+	}
+	keys := tr.Keys()
+	if len(keys) != len(vals) {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			t.Fatalf("keys out of order at %d: %v %v", i, keys[i-1], keys[i])
+		}
+	}
+	if keys[0].Value != 0 || keys[9].Value != 9 {
+		t.Errorf("extremes wrong: %v %v", keys[0], keys[9])
+	}
+}
+
+func TestMinMaxSeek(t *testing.T) {
+	tr := New[int]()
+	if tr.Min().Valid() || tr.Max().Valid() || tr.Seek(k(0, 0)).Valid() {
+		t.Errorf("iterators on empty tree should be invalid")
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(k(float64(i*2), int64(i)), i)
+	}
+	if got := tr.Min().Key().Value; got != 0 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := tr.Max().Key().Value; got != 198 {
+		t.Errorf("Max = %g", got)
+	}
+	// Seek to an existing key.
+	it := tr.Seek(k(50, 25))
+	if !it.Valid() || it.Key().Value != 50 {
+		t.Errorf("Seek(50) = %v", it.Key())
+	}
+	// Seek between keys lands on the next one.
+	it = tr.Seek(k(51, 0))
+	if !it.Valid() || it.Key().Value != 52 {
+		t.Errorf("Seek(51) = %v", it.Key())
+	}
+	// Seek past the end is invalid.
+	if tr.Seek(k(1000, 0)).Valid() {
+		t.Errorf("Seek past end should be invalid")
+	}
+	// SeekBefore.
+	it = tr.SeekBefore(k(51, 0))
+	if !it.Valid() || it.Key().Value != 50 {
+		t.Errorf("SeekBefore(51) = %v", it.Key())
+	}
+	if tr.SeekBefore(k(0, 0)).Valid() {
+		t.Errorf("SeekBefore(first) should be invalid")
+	}
+	it = tr.SeekBefore(k(10000, 0))
+	if !it.Valid() || it.Key().Value != 198 {
+		t.Errorf("SeekBefore(+inf) = %v", it.Key())
+	}
+}
+
+func TestIteratorWalk(t *testing.T) {
+	tr := New[int]()
+	n := 500
+	for i := 0; i < n; i++ {
+		tr.Insert(k(float64(i), int64(i)), i)
+	}
+	// Forward walk.
+	count := 0
+	for it := tr.Min(); it.Valid(); it = it.Next() {
+		if it.Value() != count {
+			t.Fatalf("forward walk value = %d at %d", it.Value(), count)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("forward walk visited %d", count)
+	}
+	// Backward walk.
+	count = 0
+	for it := tr.Max(); it.Valid(); it = it.Prev() {
+		if it.Value() != n-1-count {
+			t.Fatalf("backward walk value = %d at %d", it.Value(), count)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("backward walk visited %d", count)
+	}
+	// Next of invalid is invalid.
+	var inv Iterator[int]
+	if inv.Next().Valid() || inv.Prev().Valid() {
+		t.Errorf("stepping an invalid iterator should stay invalid")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 50; i++ {
+		tr.Insert(k(float64(i), int64(i)), i)
+	}
+	var seen int
+	tr.Ascend(func(Key, int) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Errorf("Ascend visited %d entries, want 10", seen)
+	}
+}
+
+func TestDuplicateValuesDistinctIDs(t *testing.T) {
+	tr := New[int]()
+	// Many entries sharing the same float value must coexist and iterate in
+	// ID order.
+	for i := 0; i < 200; i++ {
+		tr.Insert(k(7, int64(i)), i)
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	prev := int64(-1)
+	for it := tr.Min(); it.Valid(); it = it.Next() {
+		if it.Key().ID <= prev {
+			t.Fatalf("tie-broken IDs out of order: %d after %d", it.Key().ID, prev)
+		}
+		prev = it.Key().ID
+	}
+	// Seek with ID 0 must find the first of the duplicates.
+	if it := tr.Seek(k(7, 0)); it.Key().ID != 0 {
+		t.Errorf("Seek(7,0) = %v", it.Key())
+	}
+	// Delete every other one and re-check.
+	for i := 0; i < 200; i += 2 {
+		if !tr.Delete(k(7, int64(i))) {
+			t.Fatalf("delete failed for %d", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	for it := tr.Min(); it.Valid(); it = it.Next() {
+		if it.Key().ID%2 == 0 {
+			t.Fatalf("deleted key still present: %v", it.Key())
+		}
+	}
+}
+
+// reference is a sorted-slice model used to validate the tree.
+type reference struct {
+	keys []Key
+	vals map[Key]int
+}
+
+func (r *reference) insert(key Key, v int) {
+	if _, ok := r.vals[key]; !ok {
+		r.keys = append(r.keys, key)
+		sort.Slice(r.keys, func(i, j int) bool { return r.keys[i].Less(r.keys[j]) })
+	}
+	r.vals[key] = v
+}
+
+func (r *reference) delete(key Key) bool {
+	if _, ok := r.vals[key]; !ok {
+		return false
+	}
+	delete(r.vals, key)
+	for i, kk := range r.keys {
+		if kk == key {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func TestTreeMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New[int]()
+	ref := &reference{vals: map[Key]int{}}
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		key := k(float64(rng.Intn(300)), int64(rng.Intn(8)))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Insert(key, i)
+			ref.insert(key, i)
+		case 2:
+			got := tr.Delete(key)
+			want := ref.delete(key)
+			if got != want {
+				t.Fatalf("op %d: Delete(%v) = %v, want %v", i, key, got, want)
+			}
+		}
+		if tr.Len() != len(ref.keys) {
+			t.Fatalf("op %d: Len = %d, want %d", i, tr.Len(), len(ref.keys))
+		}
+	}
+	// Full ordered scan must match.
+	got := tr.Keys()
+	if len(got) != len(ref.keys) {
+		t.Fatalf("scan length %d, want %d", len(got), len(ref.keys))
+	}
+	for i := range got {
+		if got[i] != ref.keys[i] {
+			t.Fatalf("scan mismatch at %d: %v vs %v", i, got[i], ref.keys[i])
+		}
+		if v, ok := tr.Get(got[i]); !ok || v != ref.vals[got[i]] {
+			t.Fatalf("value mismatch at %v: %d vs %d", got[i], v, ref.vals[got[i]])
+		}
+	}
+	// Seek must agree with the reference lower bound for random probes.
+	for i := 0; i < 2000; i++ {
+		probe := k(float64(rng.Intn(300))+rng.Float64(), int64(rng.Intn(8)))
+		it := tr.Seek(probe)
+		j := sort.Search(len(ref.keys), func(i int) bool { return !ref.keys[i].Less(probe) })
+		if j == len(ref.keys) {
+			if it.Valid() {
+				t.Fatalf("Seek(%v) should be invalid, got %v", probe, it.Key())
+			}
+		} else if !it.Valid() || it.Key() != ref.keys[j] {
+			t.Fatalf("Seek(%v) = %v, want %v", probe, it.Key(), ref.keys[j])
+		}
+	}
+}
+
+func TestTreeQuickProperty(t *testing.T) {
+	f := func(values []uint16, deletions []uint16) bool {
+		tr := New[struct{}]()
+		ref := map[Key]bool{}
+		for _, v := range values {
+			key := k(float64(v%997), int64(v%13))
+			tr.Insert(key, struct{}{})
+			ref[key] = true
+		}
+		for _, v := range deletions {
+			key := k(float64(v%997), int64(v%13))
+			got := tr.Delete(key)
+			want := ref[key]
+			if got != want {
+				return false
+			}
+			delete(ref, key)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		keys := tr.Keys()
+		if len(keys) != len(ref) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if !keys[i-1].Less(keys[i]) {
+				return false
+			}
+		}
+		for _, key := range keys {
+			if !ref[key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New[int]()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 1000; i++ {
+			tr.Insert(k(float64(i%137), int64(i)), i)
+		}
+		for i := 0; i < 1000; i++ {
+			if !tr.Delete(k(float64(i%137), int64(i))) {
+				t.Fatalf("round %d: delete %d failed", round, i)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: tree not empty: %d", round, tr.Len())
+		}
+		if tr.Min().Valid() {
+			t.Fatalf("round %d: Min valid on empty tree", round)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New[int]()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(k(float64(i%100000), int64(i)), i)
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	tr := New[int]()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(k(float64(i), int64(i)), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Seek(k(float64(i%100000), 0))
+	}
+}
+
+func BenchmarkInsertDeleteMixed(b *testing.B) {
+	tr := New[int]()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(k(float64(i%4096), int64(i%4096)), i)
+		if i%2 == 1 {
+			tr.Delete(k(float64((i-1)%4096), int64((i-1)%4096)))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+
+	"rnnheatmap/internal/bptree"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// ErrUnsupportedL2Ablation is returned when CREST-A is requested for L2
+// circles; the ablation is only defined for the rectilinear sweep.
+var ErrUnsupportedL2Ablation = errors.New("core: CREST-A is not defined for the L2 metric")
+
+// CREST solves the Region Coloring problem with the full CREST algorithm
+// (Section V of the paper): a left-to-right sweep whose events are the
+// vertical sides of the NN-circles, with two optimizations — RNN sets are
+// derived incrementally from cached base sets instead of point-enclosure
+// queries, and only the pairs inside the merged changed intervals of an
+// event are (re-)labeled, so each region of the arrangement is labeled Θ(1)
+// times.
+//
+// The input circles must share a single metric. L-infinity inputs are swept
+// directly; L1 inputs are rotated by π/4 into the equivalent L-infinity
+// instance (Section VII-B) and representative points are rotated back; L2
+// inputs are dispatched to CRESTL2 (Section VII-C).
+func CREST(circles []nncircle.NNCircle, opts Options) (*Result, error) {
+	metric, usable, err := validateInput(circles)
+	if err != nil {
+		return nil, err
+	}
+	col := newCollector(opts)
+	switch metric {
+	case geom.LInf:
+		runCREST(usable, col, true)
+	case geom.L1:
+		rotated := nncircle.RotateL1ToLInf(usable)
+		col.toOriginal = geom.RotateLInfToL1
+		runCREST(rotated, col, true)
+	case geom.L2:
+		return CRESTL2(circles, opts)
+	}
+	finalizeStats(col, usable)
+	return col.finish(), nil
+}
+
+// CRESTA is the CREST-A ablation of the paper's experiments: the sweep with
+// the RNN-computation optimization (no point-enclosure queries) but without
+// the changed-interval optimization, so every valid pair of every line
+// status is labeled.
+func CRESTA(circles []nncircle.NNCircle, opts Options) (*Result, error) {
+	metric, usable, err := validateInput(circles)
+	if err != nil {
+		return nil, err
+	}
+	col := newCollector(opts)
+	switch metric {
+	case geom.LInf:
+		runCREST(usable, col, false)
+	case geom.L1:
+		rotated := nncircle.RotateL1ToLInf(usable)
+		col.toOriginal = geom.RotateLInfToL1
+		runCREST(rotated, col, false)
+	case geom.L2:
+		return nil, ErrUnsupportedL2Ablation
+	}
+	finalizeStats(col, usable)
+	return col.finish(), nil
+}
+
+func finalizeStats(col *collector, usable []nncircle.NNCircle) {
+	col.res.Stats.Circles = len(usable)
+}
+
+// runCREST executes the sweep over L-infinity circles. When changedIntervals
+// is true the full CREST optimization is used; otherwise every valid pair of
+// every status is labeled (CREST-A).
+func runCREST(circles []nncircle.NNCircle, col *collector, changedIntervals bool) {
+	events := buildEvents(circles)
+	col.res.Stats.Events = len(events)
+	status := newLineStatus(circles)
+	// cache maps a side ID to the RNN set of the region immediately above
+	// that side, as of the last time a changed interval updated it. The
+	// paper indexes these records by key 2i−1 / 2i; side IDs serve the same
+	// purpose here.
+	cache := make(map[int64]*oset.Set)
+
+	for l, ev := range events {
+		var changed []interval
+		for _, ci := range ev.insert {
+			status.insertCircle(ci)
+			c := circles[ci].Circle
+			changed = append(changed, interval{lo: c.BottomY(), hi: c.TopY()})
+		}
+		for _, ci := range ev.remove {
+			status.removeCircle(ci)
+			delete(cache, lowerSideID(ci))
+			delete(cache, upperSideID(ci))
+			c := circles[ci].Circle
+			changed = append(changed, interval{lo: c.BottomY(), hi: c.TopY()})
+		}
+		// The slab labeled at this event lies between this event and the
+		// next one. After the final event the status is empty, so the slab
+		// width is irrelevant.
+		xNext := ev.x
+		if l+1 < len(events) {
+			xNext = events[l+1].x
+		}
+		slab := [2]float64{ev.x, xNext}
+
+		if !changedIntervals {
+			labelWholeStatus(status, col, slab)
+			continue
+		}
+		for _, iv := range mergeIntervals(changed) {
+			processInterval(status, cache, col, slab, iv)
+		}
+	}
+}
+
+// processInterval labels every valid pair of the current line status that
+// lies within the changed interval, reusing the cached base set of the
+// element immediately preceding the interval (Section V-C2).
+func processInterval(status *lineStatus, cache map[int64]*oset.Set, col *collector, slab [2]float64, iv interval) {
+	start := status.tree.Seek(key(iv.lo, negInfID))
+	if !start.Valid() || start.Key().Value > iv.hi {
+		return
+	}
+	// Base set: the cached record of the element one position before the
+	// interval, or the empty set when the interval starts the status.
+	base := oset.New()
+	if pred := start.Prev(); pred.Valid() {
+		if rec, ok := cache[pred.Key().ID]; ok {
+			base = rec.Clone()
+		} else {
+			// The record should always exist (every element is processed when
+			// it is inserted); recompute defensively from the beginning so a
+			// missing record can never produce a wrong label.
+			base = recomputePrefix(status, pred.Key())
+		}
+	}
+	cur := start
+	for cur.Valid() && cur.Key().Value <= iv.hi {
+		status.apply(cur.Key().ID, base)
+		cache[cur.Key().ID] = base.Clone()
+		next := cur.Next()
+		if !next.Valid() || next.Key().Value > iv.hi {
+			break
+		}
+		if next.Key().Value > cur.Key().Value {
+			// Valid pair entirely inside the changed interval: label it.
+			region := geom.Rect{MinX: slab[0], MinY: cur.Key().Value, MaxX: slab[1], MaxY: next.Key().Value}
+			col.label(region, base)
+		}
+		cur = next
+	}
+}
+
+// recomputePrefix rebuilds the RNN set of the region immediately above the
+// element with the given key by scanning the status from the beginning. It
+// is a defensive fallback for a missing cache record.
+func recomputePrefix(status *lineStatus, upto bptree.Key) *oset.Set {
+	set := oset.New()
+	for it := status.tree.Min(); it.Valid(); it = it.Next() {
+		status.apply(it.Key().ID, set)
+		if it.Key() == upto {
+			break
+		}
+	}
+	return set
+}
+
+// labelWholeStatus labels every valid pair of the current status, walking it
+// once from the bottom (Corollary 1). Used by CREST-A.
+func labelWholeStatus(status *lineStatus, col *collector, slab [2]float64) {
+	set := oset.New()
+	it := status.tree.Min()
+	for it.Valid() {
+		status.apply(it.Key().ID, set)
+		next := it.Next()
+		if !next.Valid() {
+			break
+		}
+		if next.Key().Value > it.Key().Value {
+			region := geom.Rect{MinX: slab[0], MinY: it.Key().Value, MaxX: slab[1], MaxY: next.Key().Value}
+			col.label(region, set)
+		}
+		it = next
+	}
+}

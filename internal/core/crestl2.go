@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+	"rnnheatmap/internal/rtree"
+)
+
+// CRESTL2 solves the Region Coloring problem for Euclidean (L2) NN-circles
+// with the sweep described in Section VII-C of the paper. The events are the
+// x-extremes of the circles, the circle centers, and the intersection points
+// of circle boundaries; between two consecutive events the line status holds
+// the circular arcs cut by the sweep line, ordered vertically (the order
+// cannot change inside a slab because all intersections are events).
+//
+// New regions appear either at a circle's left extreme (every pair of arcs
+// vertically enclosed by the new circle) or to the right of an intersection
+// point (the pair between the two crossing arcs); right extremes and centers
+// produce no changed intervals, exactly as in the paper. The labeled
+// representative rectangle of a pair spans the slab horizontally and the
+// vertical gap between the two arcs at the slab midpoint; its center is
+// always interior to the labeled region.
+func CRESTL2(circles []nncircle.NNCircle, opts Options) (*Result, error) {
+	metric, usable, err := validateInput(circles)
+	if err != nil {
+		return nil, err
+	}
+	if metric != geom.L2 {
+		return nil, ErrNotL2
+	}
+	col := newCollector(opts)
+	runCRESTL2(usable, col)
+	finalizeStats(col, usable)
+	return col.finish(), nil
+}
+
+// ErrNotL2 is returned when CRESTL2 receives non-Euclidean circles.
+var ErrNotL2 = errors.New("core: CRESTL2 requires L2 NN-circles")
+
+// l2Event is one sweep event of the L2 variant.
+type l2Event struct {
+	x             float64
+	insert        []int // circles whose left extreme is at x
+	remove        []int // circles whose right extreme is at x
+	intersections []l2Intersection
+	centers       []int // circles whose center x-coordinate is at x
+}
+
+// l2Intersection is a boundary intersection between two circles at an event.
+type l2Intersection struct {
+	a, b int
+	p    geom.Point
+}
+
+// arcRef identifies one arc (the lower or upper half of a circle boundary)
+// in the line status.
+type arcRef struct {
+	circle int
+	upper  bool
+	y      float64 // position at the slab midpoint
+}
+
+func runCRESTL2(circles []nncircle.NNCircle, col *collector) {
+	events := buildL2Events(circles)
+	col.res.Stats.Events = len(events)
+	active := make(map[int]bool)
+
+	for l, ev := range events {
+		for _, ci := range ev.insert {
+			active[ci] = true
+		}
+		for _, ci := range ev.remove {
+			delete(active, ci)
+		}
+		if l+1 >= len(events) || len(active) == 0 {
+			continue
+		}
+		xLeft, xRight := ev.x, events[l+1].x
+		if xRight <= xLeft {
+			continue
+		}
+		xm := (xLeft + xRight) / 2
+
+		// Build the line status for this slab: two arcs per active circle,
+		// ordered by their height at the slab midpoint.
+		arcs := make([]arcRef, 0, 2*len(active))
+		for ci := range active {
+			c := circles[ci].Circle
+			lo, hi, ok := c.YAtX(xm)
+			if !ok {
+				// Numerically possible when the slab midpoint grazes the
+				// circle boundary; treat the circle as absent from this slab.
+				continue
+			}
+			arcs = append(arcs,
+				arcRef{circle: ci, upper: false, y: lo},
+				arcRef{circle: ci, upper: true, y: hi},
+			)
+		}
+		if len(arcs) == 0 {
+			continue
+		}
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].y != arcs[j].y {
+				return arcs[i].y < arcs[j].y
+			}
+			if arcs[i].circle != arcs[j].circle {
+				return arcs[i].circle < arcs[j].circle
+			}
+			return !arcs[i].upper && arcs[j].upper
+		})
+		// Locate each arc's position for changed-interval construction.
+		pos := make(map[[2]int]int, len(arcs)) // (circle, upperFlag) -> index
+		for i, a := range arcs {
+			flag := 0
+			if a.upper {
+				flag = 1
+			}
+			pos[[2]int{a.circle, flag}] = i
+		}
+
+		// Changed intervals in index space.
+		var ranges [][2]int
+		for _, ci := range ev.insert {
+			lo, okLo := pos[[2]int{ci, 0}]
+			hi, okHi := pos[[2]int{ci, 1}]
+			if okLo && okHi {
+				ranges = append(ranges, [2]int{lo, hi})
+			}
+		}
+		for _, in := range ev.intersections {
+			idxs := append(arcIndicesAt(pos, circles, in.a, in.p), arcIndicesAt(pos, circles, in.b, in.p)...)
+			if len(idxs) < 2 {
+				continue
+			}
+			lo, hi := idxs[0], idxs[0]
+			for _, idx := range idxs[1:] {
+				if idx < lo {
+					lo = idx
+				}
+				if idx > hi {
+					hi = idx
+				}
+			}
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+		if len(ranges) == 0 {
+			continue
+		}
+		ranges = mergeIndexRanges(ranges)
+
+		// Label the pairs inside each changed range. The running RNN set is
+		// built with a single prefix walk shared by all ranges.
+		set := oset.New()
+		next := 0
+		for _, r := range ranges {
+			for next <= r[0] {
+				applyArc(circles, arcs[next], set)
+				next++
+			}
+			for next <= r[1] {
+				cur := arcs[next-1]
+				nxt := arcs[next]
+				if nxt.y > cur.y {
+					region := geom.Rect{MinX: xLeft, MinY: cur.y, MaxX: xRight, MaxY: nxt.y}
+					col.label(region, set)
+				}
+				applyArc(circles, nxt, set)
+				next++
+			}
+		}
+	}
+}
+
+// applyArc folds one arc into the running RNN set: a lower arc adds its
+// circle's client, an upper arc removes it.
+func applyArc(circles []nncircle.NNCircle, a arcRef, set *oset.Set) {
+	client := circles[a.circle].Client
+	if a.upper {
+		set.Remove(client)
+	} else {
+		set.Add(client)
+	}
+}
+
+// arcIndicesAt returns the status indexes of the arcs of circle ci that pass
+// through the intersection point p: the upper arc when p lies above the
+// circle center, the lower arc when below, and both when p coincides with
+// the center height (the point is then at the circle's horizontal extreme).
+// Returning both only widens the changed interval, which can add labels but
+// never lose a region.
+func arcIndicesAt(pos map[[2]int]int, circles []nncircle.NNCircle, ci int, p geom.Point) []int {
+	const tol = 1e-12
+	cy := circles[ci].Circle.Center.Y
+	var out []int
+	if p.Y >= cy-tol {
+		if idx, ok := pos[[2]int{ci, 1}]; ok {
+			out = append(out, idx)
+		}
+	}
+	if p.Y <= cy+tol {
+		if idx, ok := pos[[2]int{ci, 0}]; ok {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// mergeIndexRanges merges overlapping or adjacent [lo, hi] index ranges.
+func mergeIndexRanges(ranges [][2]int) [][2]int {
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i][0] != ranges[j][0] {
+			return ranges[i][0] < ranges[j][0]
+		}
+		return ranges[i][1] < ranges[j][1]
+	})
+	out := ranges[:1]
+	for _, r := range ranges[1:] {
+		last := &out[len(out)-1]
+		if r[0] <= last[1]+1 {
+			if r[1] > last[1] {
+				last[1] = r[1]
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// buildL2Events constructs the sorted event list: circle x-extremes, circle
+// centers, and boundary intersection points of overlapping circle pairs.
+func buildL2Events(circles []nncircle.NNCircle) []l2Event {
+	type tag struct {
+		x    float64
+		kind int // 0 insert, 1 remove, 2 center, 3 intersection
+		a, b int
+		p    geom.Point
+	}
+	var tags []tag
+	items := make([]rtree.Item, len(circles))
+	for i, nc := range circles {
+		c := nc.Circle
+		tags = append(tags,
+			tag{x: c.LeftX(), kind: 0, a: i},
+			tag{x: c.RightX(), kind: 1, a: i},
+			tag{x: c.Center.X, kind: 2, a: i},
+		)
+		items[i] = rtree.Item{ID: i, Rect: c.BoundingRect()}
+	}
+	tree := rtree.BulkLoad(items)
+	for i, nc := range circles {
+		ci := nc.Circle
+		tree.Search(ci.BoundingRect(), func(it rtree.Item) bool {
+			j := it.ID
+			if j <= i {
+				return true
+			}
+			for _, p := range geom.CircleIntersections(ci, circles[j].Circle) {
+				tags = append(tags, tag{x: p.X, kind: 3, a: i, b: j, p: p})
+			}
+			return true
+		})
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].x < tags[j].x })
+	// Cluster events whose x-coordinates agree within floating-point
+	// tolerance. NN-circle arrangements are highly degenerate: every circle
+	// passes through its client's nearest facility, so many boundaries meet
+	// at common points whose computed coordinates differ only by rounding.
+	// Treating them as one event (as exact arithmetic would) lets the merged
+	// changed intervals cover every face that emerges from the shared vertex.
+	var events []l2Event
+	for _, tg := range tags {
+		if math.IsNaN(tg.x) {
+			continue
+		}
+		tol := 1e-9 * (1 + math.Abs(tg.x))
+		if len(events) == 0 || tg.x-events[len(events)-1].x > tol {
+			events = append(events, l2Event{x: tg.x})
+		}
+		ev := &events[len(events)-1]
+		switch tg.kind {
+		case 0:
+			ev.insert = append(ev.insert, tg.a)
+		case 1:
+			ev.remove = append(ev.remove, tg.a)
+		case 2:
+			ev.centers = append(ev.centers, tg.a)
+		case 3:
+			ev.intersections = append(ev.intersections, l2Intersection{a: tg.a, b: tg.b, p: tg.p})
+		}
+	}
+	return events
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+)
+
+func TestCRESTL2SingleCircle(t *testing.T) {
+	circles := []nncircle.NNCircle{{Client: 3, Circle: geom.NewCircle(geom.Pt(0, 0), 2, geom.L2)}}
+	res, err := CRESTL2(circles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHeat != 1 || setKey(res.MaxLabel.RNN) != "3" {
+		t.Errorf("MaxHeat=%g MaxLabel=%v", res.MaxHeat, res.MaxLabel.RNN)
+	}
+	checkLabelsAgainstOracle(t, "crest-l2", circles, res.Labels)
+}
+
+func TestCRESTL2TwoOverlappingCircles(t *testing.T) {
+	circles := []nncircle.NNCircle{
+		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 1.5, geom.L2)},
+		{Client: 1, Circle: geom.NewCircle(geom.Pt(2, 0), 1.5, geom.L2)},
+	}
+	res, err := CRESTL2(circles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := labelKeys(res.Labels)
+	for _, want := range []string{"0", "1", "0,1"} {
+		if !keys[want] {
+			t.Errorf("missing region %q; labeled keys: %v", want, keys)
+		}
+	}
+	if res.MaxHeat != 2 {
+		t.Errorf("MaxHeat = %g, want 2", res.MaxHeat)
+	}
+	checkLabelsAgainstOracle(t, "crest-l2", circles, res.Labels)
+}
+
+func TestCRESTL2NestedCircles(t *testing.T) {
+	circles := []nncircle.NNCircle{
+		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 5, geom.L2)},
+		{Client: 1, Circle: geom.NewCircle(geom.Pt(0.5, 0.5), 1, geom.L2)},
+	}
+	res, err := CRESTL2(circles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := labelKeys(res.Labels)
+	if !keys["0"] || !keys["0,1"] {
+		t.Errorf("nested regions missing: %v", keys)
+	}
+	checkLabelsAgainstOracle(t, "crest-l2", circles, res.Labels)
+}
+
+func TestCRESTL2ThreeCircleRegions(t *testing.T) {
+	// Three mutually overlapping circles in general position: all seven
+	// inside/outside combinations exist as regions and must be discovered,
+	// and every label must match the oracle.
+	circles := []nncircle.NNCircle{
+		{Client: 0, Circle: geom.NewCircle(geom.Pt(-0.7, 0), 1.5, geom.L2)},
+		{Client: 1, Circle: geom.NewCircle(geom.Pt(0.7, 0), 1.5, geom.L2)},
+		{Client: 2, Circle: geom.NewCircle(geom.Pt(0, 1.1), 1.5, geom.L2)},
+	}
+	res, err := CRESTL2(circles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabelsAgainstOracle(t, "crest-l2", circles, res.Labels)
+	keys := labelKeys(res.Labels)
+	for _, want := range []string{"0", "1", "2", "0,1", "0,2", "1,2", "0,1,2"} {
+		if !keys[want] {
+			t.Errorf("missing region %q; got %v", want, keys)
+		}
+	}
+	// Dense probing must not discover any region the sweep missed.
+	rng := rand.New(rand.NewSource(42))
+	checkCompleteness(t, "crest-l2", circles, res.Labels, rng, 5000)
+}
+
+func TestCRESTL2MatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 8; trial++ {
+		ncs, _, _ := randomInstance(t, rng, 30+10*trial, 4+trial, geom.L2, 60)
+		res, err := CRESTL2(ncs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLabelsAgainstOracle(t, "crest-l2", ncs, res.Labels)
+		checkCompleteness(t, "crest-l2", ncs, res.Labels, rng, 1500)
+		if res.Stats.Events == 0 || res.Stats.Labelings == 0 {
+			t.Errorf("trial %d: stats not populated: %+v", trial, res.Stats)
+		}
+	}
+}
+
+func TestCRESTL2MonochromaticRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	points := make([]geom.Point, 80)
+	for i := range points {
+		points[i] = geom.Pt(rng.Float64()*40, rng.Float64()*40)
+	}
+	ncs, err := nncircle.ComputeMono(points, geom.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CRESTL2(ncs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabelsAgainstOracle(t, "crest-l2-mono", ncs, res.Labels)
+	checkCompleteness(t, "crest-l2-mono", ncs, res.Labels, rng, 1000)
+	// Korn et al.: a monochromatic RNN set has at most 6 members under L2.
+	if res.Stats.MaxRNNSetSize > 6 {
+		t.Errorf("monochromatic λ = %d exceeds the theoretical bound of 6", res.Stats.MaxRNNSetSize)
+	}
+}
+
+func TestPruningMaxAgreesWithCRESTL2(t *testing.T) {
+	// Small instances with enough facilities that overlap neighborhoods stay
+	// modest: the pruning comparator is exponential in the overlap degree,
+	// which is exactly why the paper uses it as the slow baseline.
+	rng := rand.New(rand.NewSource(1010))
+	for trial := 0; trial < 6; trial++ {
+		ncs, _, _ := randomInstance(t, rng, 12+3*trial, 6+trial, geom.L2, 50)
+		for _, m := range []influence.Measure{influence.Size(), influence.Gain(3)} {
+			opts := Options{Measure: m}
+			crest, err := CRESTL2(ncs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prun, err := PruningMax(ncs, opts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 1e-9 * (1 + crest.MaxHeat)
+			if absDiff(crest.MaxHeat, prun.MaxHeat) > tol {
+				t.Fatalf("trial %d measure %s: CREST-L2 max %g vs Pruning max %g",
+					trial, m.Name(), crest.MaxHeat, prun.MaxHeat)
+			}
+		}
+	}
+}
+
+func TestPruningMaxWithBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1111))
+	ncs, _, _ := randomInstance(t, rng, 20, 8, geom.L2, 40)
+	unlimited, err := PruningMax(ncs, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := PruningMax(ncs, Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absDiff(unlimited.MaxHeat, budgeted.MaxHeat) > 1e-9 {
+		t.Errorf("budgeted pruning max %g differs from unlimited %g", budgeted.MaxHeat, unlimited.MaxHeat)
+	}
+}
+
+func TestPruningMaxLabelIsReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1212))
+	ncs, _, _ := randomInstance(t, rng, 20, 8, geom.L2, 40)
+	res, err := PruningMax(ncs, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reported best region's witness point must actually have the
+	// reported RNN set.
+	got := bruteRNN(ncs, res.MaxLabel.Point)
+	if setKey(got) != setKey(res.MaxLabel.RNN) &&
+		!onlyBoundaryAmbiguous(ncs, res.MaxLabel.Point, symmetricDiff(got, res.MaxLabel.RNN)) {
+		t.Errorf("MaxLabel at %v has set %v, oracle %v", res.MaxLabel.Point, res.MaxLabel.RNN, got)
+	}
+}
+
+func TestCRESTDispatchesL2(t *testing.T) {
+	circles := []nncircle.NNCircle{
+		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 1, geom.L2)},
+		{Client: 1, Circle: geom.NewCircle(geom.Pt(1, 0), 1, geom.L2)},
+	}
+	res, err := CREST(circles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHeat != 2 {
+		t.Errorf("CREST on L2 input should delegate to CRESTL2; MaxHeat = %g", res.MaxHeat)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"rnnheatmap/internal/bptree"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// The sweep-line machinery shared by CREST and CREST-A for the L-infinity
+// metric (and, after rotation, the L1 metric). The sweep moves left to right
+// over the distinct x-coordinates of the vertical sides of the NN-circles
+// (the events). Between two consecutive events, the line status holds the
+// horizontal sides of every circle currently cut by the line, sorted by
+// y-coordinate; adjacent status elements delimit the subregions of the slab.
+
+// event is one sweep event: an x-coordinate together with the circles whose
+// left side (insert) or right side (remove) lies at that coordinate.
+type event struct {
+	x      float64
+	insert []int // indexes into the circle slice
+	remove []int
+}
+
+// buildEvents returns the sorted, de-duplicated event list for circles.
+func buildEvents(circles []nncircle.NNCircle) []event {
+	type side struct {
+		x      float64
+		circle int
+		left   bool
+	}
+	sides := make([]side, 0, 2*len(circles))
+	for i, nc := range circles {
+		sides = append(sides,
+			side{x: nc.Circle.LeftX(), circle: i, left: true},
+			side{x: nc.Circle.RightX(), circle: i, left: false},
+		)
+	}
+	sort.Slice(sides, func(i, j int) bool { return sides[i].x < sides[j].x })
+	var events []event
+	for _, s := range sides {
+		if len(events) == 0 || events[len(events)-1].x != s.x {
+			events = append(events, event{x: s.x})
+		}
+		ev := &events[len(events)-1]
+		if s.left {
+			ev.insert = append(ev.insert, s.circle)
+		} else {
+			ev.remove = append(ev.remove, s.circle)
+		}
+	}
+	return events
+}
+
+// Side identifiers: the lower side of circle i gets ID 2i, the upper side
+// 2i+1. The IDs double as deterministic tie-breakers in the line status and
+// as the keys of the cached base sets (the paper's 2i−1 / 2i scheme).
+func lowerSideID(circle int) int64 { return int64(2 * circle) }
+func upperSideID(circle int) int64 { return int64(2*circle + 1) }
+func sideCircle(id int64) int      { return int(id / 2) }
+func sideIsLower(id int64) bool    { return id%2 == 0 }
+
+// lineStatus wraps the B+-tree holding the horizontal sides of the circles
+// currently cut by the sweep line.
+type lineStatus struct {
+	tree    *bptree.Tree[struct{}]
+	circles []nncircle.NNCircle
+}
+
+func newLineStatus(circles []nncircle.NNCircle) *lineStatus {
+	return &lineStatus{tree: bptree.New[struct{}](), circles: circles}
+}
+
+func (ls *lineStatus) insertCircle(ci int) {
+	c := ls.circles[ci].Circle
+	ls.tree.Insert(bptree.Key{Value: c.BottomY(), ID: lowerSideID(ci)}, struct{}{})
+	ls.tree.Insert(bptree.Key{Value: c.TopY(), ID: upperSideID(ci)}, struct{}{})
+}
+
+func (ls *lineStatus) removeCircle(ci int) {
+	c := ls.circles[ci].Circle
+	ls.tree.Delete(bptree.Key{Value: c.BottomY(), ID: lowerSideID(ci)})
+	ls.tree.Delete(bptree.Key{Value: c.TopY(), ID: upperSideID(ci)})
+}
+
+// apply folds the side identified by key into the running RNN set: lower
+// sides add their circle's client, upper sides remove it.
+func (ls *lineStatus) apply(id int64, set *oset.Set) {
+	client := ls.circles[sideCircle(id)].Client
+	if sideIsLower(id) {
+		set.Add(client)
+	} else {
+		set.Remove(client)
+	}
+}
+
+// interval is a changed interval: the y-range within which pairs must be
+// re-labeled after an event (Lemma 2).
+type interval struct {
+	lo, hi float64
+}
+
+// mergeIntervals sorts the intervals and merges the ones that overlap or
+// touch, returning disjoint intervals in ascending order.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// negInfID is the smallest possible side ID, used to seek to the first
+// element at or above a coordinate regardless of tie-breaking.
+const negInfID = math.MinInt64
+
+// key builds a line-status key.
+func key(v float64, id int64) bptree.Key { return bptree.Key{Value: v, ID: id} }

@@ -1,0 +1,193 @@
+// Package core implements the Region Coloring algorithms of the paper: the
+// CREST sweep-line algorithm for the L-infinity and L1 metrics, the CREST-L2
+// variant for the Euclidean metric, the CREST-A ablation (RNN-computation
+// optimization only), the baseline grid algorithm of Section IV, and the
+// Pruning comparator adapted from Sun et al. [22] used in the L2 experiments.
+//
+// All algorithms consume NN-circles (see package nncircle) and produce a
+// Result: a set of region labels, each carrying the RNN set of the region, a
+// representative interior point, and the heat value under a configurable
+// influence measure.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// Label is one region-labeling operation: a region of the arrangement
+// together with its RNN set and heat value.
+type Label struct {
+	// Region is a representative axis-aligned rectangle contained in the
+	// labeled region, expressed in the sweep coordinate system (the original
+	// system for L-infinity and L2, the rotated system for L1).
+	Region geom.Rect
+	// Point is a representative interior point of the region in the original
+	// (unrotated) coordinate system.
+	Point geom.Point
+	// RNN holds the client identifiers of the region's RNN set in ascending
+	// order.
+	RNN []int
+	// Heat is the influence value of the RNN set under the run's measure.
+	Heat float64
+}
+
+// Stats records the work an algorithm performed; the experiment harness
+// reports these alongside wall-clock time.
+type Stats struct {
+	// Circles is the number of NN-circles processed (n).
+	Circles int
+	// Events is the number of sweep-line events (0 for the baseline).
+	Events int
+	// Labelings is the number of region-labeling operations (k in the
+	// paper's analysis; m for the baseline).
+	Labelings int
+	// InfluenceCalls counts invocations of the influence measure.
+	InfluenceCalls int
+	// EnclosureQueries counts point-enclosure queries (baseline only).
+	EnclosureQueries int
+	// GridCells is the number of grid cells formed (baseline only).
+	GridCells int
+	// MaxRNNSetSize is the largest RNN set encountered (λ).
+	MaxRNNSetSize int
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// Result is the output of a Region Coloring run.
+type Result struct {
+	// Labels holds every region label emitted, in emission order. Empty when
+	// Options.DiscardLabels was set.
+	Labels []Label
+	// MaxHeat is the largest heat value over all labeled regions.
+	MaxHeat float64
+	// MaxLabel is a label attaining MaxHeat (always populated, even when
+	// labels are discarded).
+	MaxLabel Label
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Options configures a Region Coloring run.
+type Options struct {
+	// Measure is the influence measure; nil means influence.Size().
+	Measure influence.Measure
+	// DiscardLabels suppresses collection of the label slice. The maximum
+	// label and statistics are still produced. Use it for large benchmark
+	// runs where only timing and the maximum are needed.
+	DiscardLabels bool
+}
+
+func (o Options) measure() influence.Measure {
+	if o.Measure == nil {
+		return influence.Size()
+	}
+	return o.Measure
+}
+
+// Errors shared by the algorithms.
+var (
+	// ErrNoCircles is returned when the input contains no usable NN-circles.
+	ErrNoCircles = errors.New("core: no NN-circles to process")
+	// ErrMixedMetrics is returned when the input circles do not all share
+	// one metric.
+	ErrMixedMetrics = errors.New("core: NN-circles use mixed metrics")
+)
+
+// collector accumulates labels and statistics for a run. All algorithms in
+// the package funnel their labeling operations through it so counting and
+// max-tracking behave identically everywhere.
+type collector struct {
+	opts    Options
+	measure influence.Measure
+	res     *Result
+	started time.Time
+	// toOriginal maps a sweep-space representative point back to the original
+	// coordinate system (identity except for the L1 rotation).
+	toOriginal func(geom.Point) geom.Point
+}
+
+func newCollector(opts Options) *collector {
+	c := &collector{
+		opts:       opts,
+		measure:    opts.measure(),
+		res:        &Result{MaxHeat: math.Inf(-1)},
+		started:    time.Now(),
+		toOriginal: func(p geom.Point) geom.Point { return p },
+	}
+	return c
+}
+
+// label records one region-labeling operation. rnn is snapshotted; callers
+// may keep mutating it afterwards.
+func (c *collector) label(region geom.Rect, rnn *oset.Set) {
+	c.res.Stats.Labelings++
+	c.res.Stats.InfluenceCalls++
+	heat := c.measure.Influence(rnn)
+	if rnn.Len() > c.res.Stats.MaxRNNSetSize {
+		c.res.Stats.MaxRNNSetSize = rnn.Len()
+	}
+	var lbl Label
+	needLabel := !c.opts.DiscardLabels || heat > c.res.MaxHeat
+	if needLabel {
+		lbl = Label{
+			Region: region,
+			Point:  c.toOriginal(region.Center()),
+			RNN:    rnn.Sorted(),
+			Heat:   heat,
+		}
+	}
+	if !c.opts.DiscardLabels {
+		c.res.Labels = append(c.res.Labels, lbl)
+	}
+	if heat > c.res.MaxHeat {
+		c.res.MaxHeat = heat
+		c.res.MaxLabel = lbl
+	}
+}
+
+// finish stamps the duration and returns the result.
+func (c *collector) finish() *Result {
+	if math.IsInf(c.res.MaxHeat, -1) {
+		c.res.MaxHeat = 0
+	}
+	c.res.Stats.Duration = time.Since(c.started)
+	return c.res
+}
+
+// validateInput checks the circle slice and returns its common metric. Zero
+// radius circles (clients co-located with a facility) are reported via the
+// second return value so algorithms can skip them: no location can strictly
+// capture such a client, and the degenerate squares would otherwise produce
+// zero-area slabs.
+func validateInput(circles []nncircle.NNCircle) (geom.Metric, []nncircle.NNCircle, error) {
+	usable := make([]nncircle.NNCircle, 0, len(circles))
+	var metric geom.Metric
+	seen := false
+	for _, nc := range circles {
+		if nc.Circle.Radius <= 0 {
+			continue
+		}
+		if !seen {
+			metric = nc.Circle.Metric
+			seen = true
+		} else if nc.Circle.Metric != metric {
+			return 0, nil, ErrMixedMetrics
+		}
+		usable = append(usable, nc)
+	}
+	if !seen {
+		return 0, nil, ErrNoCircles
+	}
+	if !metric.Valid() {
+		return 0, nil, fmt.Errorf("core: invalid metric %v", metric)
+	}
+	return metric, usable, nil
+}

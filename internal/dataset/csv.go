@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"rnnheatmap/internal/geom"
+)
+
+// WriteCSV writes the data set as "x,y" rows with a header.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y"}); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	for _, p := range d.Points {
+		rec := []string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing point: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the data set to a file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a data set from "x,y" rows. A header row is skipped when
+// its fields are not numeric.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var pts []geom.Point
+	bounds := geom.EmptyRect()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: expected at least 2 fields, got %d", line, len(rec))
+		}
+		x, errX := strconv.ParseFloat(rec[0], 64)
+		y, errY := strconv.ParseFloat(rec[1], 64)
+		if errX != nil || errY != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataset: line %d: non-numeric coordinates %q,%q", line, rec[0], rec[1])
+		}
+		p := geom.Pt(x, y)
+		pts = append(pts, p)
+		bounds = bounds.UnionPoint(p)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dataset: no points in CSV input")
+	}
+	return &Dataset{Name: name, Points: pts, Bounds: bounds}, nil
+}
+
+// LoadCSV reads a data set from a file.
+func LoadCSV(name, path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}

@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+)
+
+func TestUniform(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 20}
+	d := Uniform(1000, bounds, 1)
+	if d.Len() != 1000 || d.Name != "Uniform" {
+		t.Fatalf("Len=%d Name=%q", d.Len(), d.Name)
+	}
+	for _, p := range d.Points {
+		if !bounds.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	// Determinism.
+	d2 := Uniform(1000, bounds, 1)
+	if d.Points[37] != d2.Points[37] {
+		t.Errorf("same seed should reproduce the same points")
+	}
+	d3 := Uniform(1000, bounds, 2)
+	if d.Points[37] == d3.Points[37] {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	d := Zipfian(5000, bounds, 0.2, 3)
+	if d.Len() != 5000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for _, p := range d.Points {
+		if !bounds.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	// The densest 10x10 cell of a Zipfian sample should hold noticeably more
+	// points than the uniform expectation.
+	counts := map[[2]int]int{}
+	for _, p := range d.Points {
+		counts[[2]int{int(p.X / 10), int(p.Y / 10)}]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2*5000/100 {
+		t.Errorf("Zipfian sample looks too uniform: densest cell has %d points", max)
+	}
+}
+
+func TestCityGenerators(t *testing.T) {
+	ny := NewYorkLike(5000, 7)
+	la := LosAngelesLike(5000, 7)
+	if ny.Len() != 5000 || la.Len() != 5000 {
+		t.Fatalf("city sizes wrong: %d %d", ny.Len(), la.Len())
+	}
+	for _, d := range []*Dataset{ny, la} {
+		for _, p := range d.Points {
+			if !d.Bounds.Contains(p) {
+				t.Fatalf("%s point %v outside bounds %v", d.Name, p, d.Bounds)
+			}
+		}
+	}
+	// Default cardinalities follow Table II.
+	if NewYorkLike(0, 1).Len() != NYCSize {
+		t.Errorf("default NYC size should be %d", NYCSize)
+	}
+	// Clustering sanity: the densest 5% x 5% cell should hold several times
+	// the uniform share.
+	counts := map[[2]int]int{}
+	for _, p := range ny.Points {
+		cx := int((p.X - ny.Bounds.MinX) / ny.Bounds.Width() * 20)
+		cy := int((p.Y - ny.Bounds.MinY) / ny.Bounds.Height() * 20)
+		counts[[2]int{cx, cy}]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*5000/400 {
+		t.Errorf("NYC sample not clustered: densest cell %d", max)
+	}
+}
+
+func TestSample(t *testing.T) {
+	d := Uniform(100, geom.Rect{MaxX: 1, MaxY: 1}, 5)
+	s := d.Sample(20, 9)
+	if len(s) != 20 {
+		t.Fatalf("Sample len = %d", len(s))
+	}
+	seen := map[geom.Point]bool{}
+	for _, p := range s {
+		seen[p] = true
+	}
+	if len(seen) != 20 {
+		t.Errorf("sampling without replacement returned duplicates")
+	}
+	// Oversampling falls back to replacement.
+	big := d.Sample(500, 9)
+	if len(big) != 500 {
+		t.Errorf("oversample len = %d", len(big))
+	}
+	// Determinism.
+	s2 := d.Sample(20, 9)
+	if s[3] != s2[3] {
+		t.Errorf("sampling should be deterministic for a fixed seed")
+	}
+}
+
+func TestSampleClientsFacilities(t *testing.T) {
+	d := Uniform(1000, geom.Rect{MaxX: 10, MaxY: 10}, 11)
+	clients, facilities := d.SampleClientsFacilities(300, 50, 13)
+	if len(clients) != 300 || len(facilities) != 50 {
+		t.Fatalf("sizes: %d %d", len(clients), len(facilities))
+	}
+	seen := map[geom.Point]bool{}
+	for _, p := range clients {
+		seen[p] = true
+	}
+	for _, p := range facilities {
+		if seen[p] {
+			t.Fatalf("facility %v duplicates a client draw", p)
+		}
+	}
+	// Oversampling still works.
+	c2, f2 := d.SampleClientsFacilities(900, 200, 13)
+	if len(c2) != 900 || len(f2) != 200 {
+		t.Errorf("oversample sizes: %d %d", len(c2), len(f2))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		d, err := ByName(name, 500, 17)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Len() != 500 {
+			t.Errorf("%s: Len = %d", name, d.Len())
+		}
+	}
+	if _, err := ByName("mars", 10, 1); err == nil {
+		t.Errorf("unknown data set should error")
+	}
+	if len(Names()) != 4 {
+		t.Errorf("the paper evaluates on four data sets")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Uniform(200, geom.Rect{MaxX: 5, MaxY: 5}, 21)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip lost points: %d vs %d", got.Len(), d.Len())
+	}
+	for i := range got.Points {
+		if !got.Points[i].AlmostEqual(d.Points[i], 1e-12) {
+			t.Fatalf("point %d differs: %v vs %v", i, got.Points[i], d.Points[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("empty", strings.NewReader("")); err == nil {
+		t.Errorf("empty input should error")
+	}
+	if _, err := ReadCSV("short", strings.NewReader("1\n")); err == nil {
+		t.Errorf("missing column should error")
+	}
+	if _, err := ReadCSV("bad", strings.NewReader("x,y\n1,2\nfoo,bar\n")); err == nil {
+		t.Errorf("non-numeric body row should error")
+	}
+	// Header-only numeric check: a file without a header still parses.
+	d, err := ReadCSV("noheader", strings.NewReader("1,2\n3,4\n"))
+	if err != nil || d.Len() != 2 {
+		t.Errorf("headerless CSV should parse: %v len=%d", err, d.Len())
+	}
+}
+
+func TestSaveAndLoadCSV(t *testing.T) {
+	d := Uniform(50, geom.Rect{MaxX: 1, MaxY: 1}, 23)
+	path := t.TempDir() + "/points.csv"
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV("loaded", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 || got.Name != "loaded" {
+		t.Errorf("loaded %d points, name %q", got.Len(), got.Name)
+	}
+	if _, err := LoadCSV("missing", path+".nope"); err == nil {
+		t.Errorf("missing file should error")
+	}
+}

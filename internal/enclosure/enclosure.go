@@ -1,0 +1,186 @@
+// Package enclosure provides point-enclosure (stabbing) indexes over
+// NN-circles: given a query point, report every circle containing it.
+//
+// The baseline algorithm of the paper (Section IV) issues one such query per
+// grid cell; the heat-map rasterizer issues one per pixel. The paper uses an
+// S-tree for ease of analysis and notes that "other spatial indexes such as
+// the R-tree may be used"; this package offers an R-tree backed index (the
+// default) and a stripe index closer in spirit to the S-tree, used in the
+// ablation benchmarks.
+package enclosure
+
+import (
+	"sort"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/rtree"
+)
+
+// Index answers point-enclosure queries over a fixed set of circles.
+type Index interface {
+	// Enclosing returns the indexes (into the original slice) of the circles
+	// that contain p, boundary included.
+	Enclosing(p geom.Point) []int
+	// EnclosingStrict returns the indexes of the circles that contain p
+	// strictly in their interior.
+	EnclosingStrict(p geom.Point) []int
+	// Len returns the number of indexed circles.
+	Len() int
+}
+
+// rtreeIndex is the default Index implementation: an R-tree over the circle
+// bounding rectangles refined by an exact containment test.
+type rtreeIndex struct {
+	circles []geom.Circle
+	tree    *rtree.Tree
+}
+
+// NewRTreeIndex builds the default point-enclosure index over circles.
+func NewRTreeIndex(circles []geom.Circle) Index {
+	items := make([]rtree.Item, len(circles))
+	for i, c := range circles {
+		items[i] = rtree.Item{ID: i, Rect: c.BoundingRect()}
+	}
+	return &rtreeIndex{circles: circles, tree: rtree.BulkLoad(items)}
+}
+
+func (ix *rtreeIndex) Len() int { return len(ix.circles) }
+
+func (ix *rtreeIndex) Enclosing(p geom.Point) []int {
+	var out []int
+	for _, id := range ix.tree.Stab(p) {
+		if ix.circles[id].Contains(p) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (ix *rtreeIndex) EnclosingStrict(p geom.Point) []int {
+	var out []int
+	for _, id := range ix.tree.Stab(p) {
+		if ix.circles[id].ContainsStrict(p) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stripeIndex divides the x-axis into stripes bounded by the distinct
+// x-extremes of the circles; each stripe lists the circles whose horizontal
+// extent covers it. A query binary-searches its stripe and tests the listed
+// circles. This mirrors the two-level structure of the S-tree used in the
+// paper's baseline analysis.
+type stripeIndex struct {
+	circles []geom.Circle
+	xs      []float64 // stripe boundaries, ascending
+	stripes [][]int   // stripes[i] covers [xs[i], xs[i+1])
+}
+
+// NewStripeIndex builds a stripe-based point-enclosure index over circles.
+func NewStripeIndex(circles []geom.Circle) Index {
+	ix := &stripeIndex{circles: circles}
+	seen := map[float64]bool{}
+	for _, c := range circles {
+		for _, x := range []float64{c.LeftX(), c.RightX()} {
+			if !seen[x] {
+				seen[x] = true
+				ix.xs = append(ix.xs, x)
+			}
+		}
+	}
+	sort.Float64s(ix.xs)
+	if len(ix.xs) == 0 {
+		return ix
+	}
+	ix.stripes = make([][]int, len(ix.xs))
+	for id, c := range circles {
+		lo := sort.SearchFloat64s(ix.xs, c.LeftX())
+		hi := sort.SearchFloat64s(ix.xs, c.RightX())
+		for s := lo; s < hi && s < len(ix.stripes); s++ {
+			ix.stripes[s] = append(ix.stripes[s], id)
+		}
+	}
+	return ix
+}
+
+func (ix *stripeIndex) Len() int { return len(ix.circles) }
+
+// stripeFor returns the candidate circle IDs for the stripe containing x, or
+// nil when x lies outside every circle's horizontal extent.
+func (ix *stripeIndex) stripeFor(x float64) []int {
+	if len(ix.xs) == 0 || x < ix.xs[0] || x > ix.xs[len(ix.xs)-1] {
+		return nil
+	}
+	// Find the last boundary <= x.
+	i := sort.SearchFloat64s(ix.xs, x)
+	if i == len(ix.xs) || ix.xs[i] > x {
+		i--
+	}
+	if i < 0 {
+		return nil
+	}
+	if i == len(ix.stripes)-1 {
+		// x equals the right-most boundary: candidates are circles whose
+		// right side is that boundary; fall back to the previous stripe plus
+		// an exact test below (previous stripe covers them).
+		if i > 0 {
+			i--
+		}
+	}
+	return ix.stripes[i]
+}
+
+func (ix *stripeIndex) Enclosing(p geom.Point) []int {
+	var out []int
+	for _, id := range ix.stripeFor(p.X) {
+		if ix.circles[id].Contains(p) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (ix *stripeIndex) EnclosingStrict(p geom.Point) []int {
+	var out []int
+	for _, id := range ix.stripeFor(p.X) {
+		if ix.circles[id].ContainsStrict(p) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bruteIndex tests every circle. It exists as the correctness oracle for the
+// other implementations and for tiny inputs where index construction is not
+// worthwhile.
+type bruteIndex struct{ circles []geom.Circle }
+
+// NewBruteIndex returns an Index that scans all circles on every query.
+func NewBruteIndex(circles []geom.Circle) Index { return &bruteIndex{circles: circles} }
+
+func (ix *bruteIndex) Len() int { return len(ix.circles) }
+
+func (ix *bruteIndex) Enclosing(p geom.Point) []int {
+	var out []int
+	for i, c := range ix.circles {
+		if c.Contains(p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (ix *bruteIndex) EnclosingStrict(p geom.Point) []int {
+	var out []int
+	for i, c := range ix.circles {
+		if c.ContainsStrict(p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package enclosure
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+)
+
+func randomCircles(rng *rand.Rand, n int, m geom.Metric, span float64) []geom.Circle {
+	out := make([]geom.Circle, n)
+	for i := range out {
+		out[i] = geom.NewCircle(
+			geom.Pt(rng.Float64()*span, rng.Float64()*span),
+			rng.Float64()*span/10+0.01,
+			m,
+		)
+	}
+	return out
+}
+
+func TestIndexesAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, metric := range []geom.Metric{geom.LInf, geom.L1, geom.L2} {
+		circles := randomCircles(rng, 800, metric, 100)
+		brute := NewBruteIndex(circles)
+		rt := NewRTreeIndex(circles)
+		st := NewStripeIndex(circles)
+		if rt.Len() != 800 || st.Len() != 800 || brute.Len() != 800 {
+			t.Fatalf("Len mismatch")
+		}
+		for q := 0; q < 400; q++ {
+			p := geom.Pt(rng.Float64()*110-5, rng.Float64()*110-5)
+			want := brute.Enclosing(p)
+			if got := rt.Enclosing(p); !sameIDs(got, want) {
+				t.Fatalf("metric %v: rtree Enclosing(%v) = %v, want %v", metric, p, got, want)
+			}
+			if got := st.Enclosing(p); !sameIDs(got, want) {
+				t.Fatalf("metric %v: stripe Enclosing(%v) = %v, want %v", metric, p, got, want)
+			}
+			wantStrict := brute.EnclosingStrict(p)
+			if got := rt.EnclosingStrict(p); !sameIDs(got, wantStrict) {
+				t.Fatalf("metric %v: rtree EnclosingStrict(%v) = %v, want %v", metric, p, got, wantStrict)
+			}
+			if got := st.EnclosingStrict(p); !sameIDs(got, wantStrict) {
+				t.Fatalf("metric %v: stripe EnclosingStrict(%v) = %v, want %v", metric, p, got, wantStrict)
+			}
+		}
+	}
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestQueryOnCircleCenters(t *testing.T) {
+	// Each circle must report itself when queried at its own center.
+	rng := rand.New(rand.NewSource(22))
+	circles := randomCircles(rng, 300, geom.L2, 50)
+	for _, ix := range []Index{NewRTreeIndex(circles), NewStripeIndex(circles), NewBruteIndex(circles)} {
+		for i, c := range circles {
+			found := false
+			for _, id := range ix.Enclosing(c.Center) {
+				if id == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("circle %d not reported at its own center", i)
+			}
+		}
+	}
+}
+
+func TestEmptyIndexes(t *testing.T) {
+	for _, ix := range []Index{NewRTreeIndex(nil), NewStripeIndex(nil), NewBruteIndex(nil)} {
+		if ix.Len() != 0 {
+			t.Errorf("empty index Len = %d", ix.Len())
+		}
+		if got := ix.Enclosing(geom.Pt(0, 0)); len(got) != 0 {
+			t.Errorf("empty index Enclosing = %v", got)
+		}
+		if got := ix.EnclosingStrict(geom.Pt(0, 0)); len(got) != 0 {
+			t.Errorf("empty index EnclosingStrict = %v", got)
+		}
+	}
+}
+
+func TestBoundaryInclusion(t *testing.T) {
+	circles := []geom.Circle{geom.NewCircle(geom.Pt(0, 0), 1, geom.LInf)}
+	for _, ix := range []Index{NewRTreeIndex(circles), NewStripeIndex(circles), NewBruteIndex(circles)} {
+		if got := ix.Enclosing(geom.Pt(1, 1)); len(got) != 1 {
+			t.Errorf("boundary point should be enclosed (closed): %v", got)
+		}
+		if got := ix.EnclosingStrict(geom.Pt(1, 1)); len(got) != 0 {
+			t.Errorf("boundary point should not be strictly enclosed: %v", got)
+		}
+		if got := ix.Enclosing(geom.Pt(1.001, 0)); len(got) != 0 {
+			t.Errorf("exterior point should not be enclosed: %v", got)
+		}
+	}
+}
+
+func TestHeavyOverlap(t *testing.T) {
+	// All circles share the same center: a query at the center hits all of
+	// them, a query far away hits none.
+	n := 200
+	circles := make([]geom.Circle, n)
+	for i := range circles {
+		circles[i] = geom.NewCircle(geom.Pt(10, 10), float64(i+1)/10, geom.L2)
+	}
+	for _, ix := range []Index{NewRTreeIndex(circles), NewStripeIndex(circles)} {
+		if got := ix.Enclosing(geom.Pt(10, 10)); len(got) != n {
+			t.Errorf("center query = %d circles, want %d", len(got), n)
+		}
+		if got := ix.Enclosing(geom.Pt(100, 100)); len(got) != 0 {
+			t.Errorf("distant query = %v", got)
+		}
+	}
+}
+
+func BenchmarkRTreeEnclosing(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	ix := NewRTreeIndex(randomCircles(rng, 10000, geom.LInf, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Enclosing(geom.Pt(rng.Float64()*1000, rng.Float64()*1000))
+	}
+}
+
+func BenchmarkStripeEnclosing(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	ix := NewStripeIndex(randomCircles(rng, 10000, geom.LInf, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Enclosing(geom.Pt(rng.Float64()*1000, rng.Float64()*1000))
+	}
+}

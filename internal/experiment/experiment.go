@@ -1,0 +1,400 @@
+// Package experiment regenerates the evaluation of the paper: the running
+// time series of Figures 16-19, the data set inventory of Table II and the
+// density-versus-influence illustration of Fig. 2. Every figure is expressed
+// as a parameter sweep returning rows of (data set, parameter, algorithm,
+// measurement), which cmd/experiments prints as tables and bench_test.go
+// exercises as Go benchmarks.
+//
+// The absolute running times differ from the paper (Go on this machine
+// versus the authors' C++ on a 3.4 GHz i7); what the sweeps reproduce is the
+// relative behavior: orders-of-magnitude gaps between the algorithms and
+// their growth trends. EXPERIMENTS.md records the measured numbers next to
+// the paper's.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/dataset"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+)
+
+// Row is one measurement of a sweep.
+type Row struct {
+	Figure    string
+	Dataset   string
+	Param     string // e.g. "|O|/|F|=2^4" or "|O|=2^10"
+	Algorithm string
+	Duration  time.Duration
+	Labelings int
+	Events    int
+	MaxRNN    int
+	MaxHeat   float64
+}
+
+// SweepConfig controls the experiment sweeps. The zero value is replaced by
+// paper-scale defaults; the benchmarks use reduced settings so a full run
+// finishes in minutes rather than hours (the paper's own baseline runs were
+// cut off at 24 hours).
+type SweepConfig struct {
+	// Datasets to sweep over; defaults to the paper's four.
+	Datasets []string
+	// Seed makes the workloads reproducible.
+	Seed int64
+	// BaselineLimit is the largest |O| for which the quadratic baseline (and
+	// the exponential Pruning comparator) are run; 0 means 1<<10, matching
+	// the scale at which the paper could still run them.
+	BaselineLimit int
+	// PruningBudget bounds the Pruning comparator's enumeration nodes per
+	// seed circle (0 = unlimited). The result stays exact; only the
+	// enumeration work is capped.
+	PruningBudget int
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Datasets) == 0 {
+		c.Datasets = dataset.Names()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BaselineLimit == 0 {
+		c.BaselineLimit = 1 << 10
+	}
+	return c
+}
+
+// workload draws |O| clients and |F| facilities from a named data set and
+// computes the NN-circles under the metric.
+func workload(name string, nO, nF int, metric geom.Metric, seed int64) ([]nncircle.NNCircle, []geom.Point, []geom.Point, error) {
+	pool := nO + nF
+	if pool < 4096 {
+		pool = 4096
+	}
+	ds, err := dataset.ByName(name, pool*2, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	clients, facilities := ds.SampleClientsFacilities(nO, nF, seed+17)
+	ncs, err := nncircle.Compute(clients, facilities, metric)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ncs, clients, facilities, nil
+}
+
+// runL1 measures one algorithm on an L1 workload.
+func runL1(alg string, ncs []nncircle.NNCircle) (*core.Result, error) {
+	opts := core.Options{Measure: influence.Size(), DiscardLabels: true}
+	switch alg {
+	case "BA":
+		return core.Baseline(ncs, opts)
+	case "CREST-A":
+		return core.CRESTA(ncs, opts)
+	case "CREST":
+		return core.CREST(ncs, opts)
+	default:
+		return nil, fmt.Errorf("experiment: unknown algorithm %q", alg)
+	}
+}
+
+// Fig16 reproduces "Effect of |O|/|F| with L1 distance": |O| fixed at 2^10,
+// the ratio |O|/|F| swept over the given exponents, comparing BA, CREST-A
+// and CREST on every data set.
+func Fig16(cfg SweepConfig, ratioExps []int) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	if len(ratioExps) == 0 {
+		ratioExps = []int{1, 4, 7, 10}
+	}
+	nO := 1 << 10
+	var rows []Row
+	for _, ds := range cfg.Datasets {
+		for _, exp := range ratioExps {
+			nF := nO >> exp
+			if nF < 1 {
+				nF = 1
+			}
+			ncs, _, _, err := workload(ds, nO, nF, geom.L1, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range []string{"BA", "CREST-A", "CREST"} {
+				if alg == "BA" && nO > cfg.BaselineLimit {
+					continue
+				}
+				res, err := runL1(alg, ncs)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, rowFrom("Fig16", ds, fmt.Sprintf("|O|/|F|=2^%d", exp), alg, res))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig17 reproduces "Effect of data set size with L1 distance": the ratio is
+// fixed at 2^7 and |O| swept over the given exponents.
+func Fig17(cfg SweepConfig, sizeExps []int) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	if len(sizeExps) == 0 {
+		sizeExps = []int{7, 10, 13, 16}
+	}
+	const ratioExp = 7
+	var rows []Row
+	for _, ds := range cfg.Datasets {
+		for _, exp := range sizeExps {
+			nO := 1 << exp
+			nF := nO >> ratioExp
+			if nF < 1 {
+				nF = 1
+			}
+			ncs, _, _, err := workload(ds, nO, nF, geom.L1, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range []string{"BA", "CREST-A", "CREST"} {
+				if alg == "BA" && nO > cfg.BaselineLimit {
+					continue // the paper early-terminates BA beyond 2^13 (24 h)
+				}
+				res, err := runL1(alg, ncs)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, rowFrom("Fig17", ds, fmt.Sprintf("|O|=2^%d", exp), alg, res))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runL2Max measures one comparator for the maximum-influence task of the L2
+// experiments: CREST-L2 versus the Pruning algorithm, both evaluating the
+// capacity-constrained candidate gain min{c(p), |R(p)|}.
+func runL2Max(alg string, ncs []nncircle.NNCircle, pruningBudget int) (*core.Result, error) {
+	opts := core.Options{Measure: influence.Gain(8), DiscardLabels: true}
+	switch alg {
+	case "Pruning":
+		return core.PruningMax(ncs, opts, pruningBudget)
+	case "CREST-L2":
+		return core.CRESTL2(ncs, opts)
+	default:
+		return nil, fmt.Errorf("experiment: unknown algorithm %q", alg)
+	}
+}
+
+// Fig18 reproduces "Effect of |O|/|F| with L2 distance": |O| fixed at 2^10,
+// ratio swept, comparing the Pruning algorithm and CREST-L2 on the
+// maximum-influence task with the capacity-constrained measure.
+func Fig18(cfg SweepConfig, ratioExps []int) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	if len(ratioExps) == 0 {
+		ratioExps = []int{1, 4, 7, 10}
+	}
+	nO := 1 << 10
+	var rows []Row
+	for _, ds := range cfg.Datasets {
+		for _, exp := range ratioExps {
+			nF := nO >> exp
+			if nF < 1 {
+				nF = 1
+			}
+			ncs, _, _, err := workload(ds, nO, nF, geom.L2, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range []string{"Pruning", "CREST-L2"} {
+				if alg == "Pruning" && nO > cfg.BaselineLimit {
+					continue
+				}
+				res, err := runL2Max(alg, ncs, cfg.PruningBudget)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, rowFrom("Fig18", ds, fmt.Sprintf("|O|/|F|=2^%d", exp), alg, res))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig19 reproduces "Effect of data set size with L2 distance": ratio fixed
+// at 2^5, |O| swept.
+func Fig19(cfg SweepConfig, sizeExps []int) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	if len(sizeExps) == 0 {
+		sizeExps = []int{7, 10, 13}
+	}
+	const ratioExp = 5
+	var rows []Row
+	for _, ds := range cfg.Datasets {
+		for _, exp := range sizeExps {
+			nO := 1 << exp
+			nF := nO >> ratioExp
+			if nF < 1 {
+				nF = 1
+			}
+			ncs, _, _, err := workload(ds, nO, nF, geom.L2, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range []string{"Pruning", "CREST-L2"} {
+				if alg == "Pruning" && nO > cfg.BaselineLimit {
+					continue
+				}
+				res, err := runL2Max(alg, ncs, cfg.PruningBudget)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, rowFrom("Fig19", ds, fmt.Sprintf("|O|=2^%d", exp), alg, res))
+			}
+		}
+	}
+	return rows, nil
+}
+
+func rowFrom(fig, ds, param, alg string, res *core.Result) Row {
+	return Row{
+		Figure:    fig,
+		Dataset:   ds,
+		Param:     param,
+		Algorithm: alg,
+		Duration:  res.Stats.Duration,
+		Labelings: res.Stats.Labelings,
+		Events:    res.Stats.Events,
+		MaxRNN:    res.Stats.MaxRNNSetSize,
+		MaxHeat:   res.MaxHeat,
+	}
+}
+
+// Table2 reports the data set inventory of Table II (simulated cardinalities
+// match the paper's real data sets).
+func Table2() []Row {
+	return []Row{
+		{Figure: "Table2", Dataset: "NYC", Param: fmt.Sprintf("size=%d", dataset.NYCSize), Algorithm: "-",
+			Labelings: dataset.NYCSize},
+		{Figure: "Table2", Dataset: "LA", Param: fmt.Sprintf("size=%d", dataset.LASize), Algorithm: "-",
+			Labelings: dataset.LASize},
+	}
+}
+
+// Fig2Result describes the density-versus-influence contrast of Fig. 2: the
+// densest client cell and the most influential region do not coincide once
+// competition from existing facilities is taken into account.
+type Fig2Result struct {
+	DensestCell      geom.Point
+	DensestCellCount int
+	BestRegionPoint  geom.Point
+	BestRegionHeat   float64
+	SameCell         bool
+}
+
+// Fig2 builds a clustered instance in which the densest client area is
+// already saturated with facilities, so the most influential region lies
+// elsewhere.
+func Fig2(seed int64) (*Fig2Result, error) {
+	ds := dataset.Zipfian(4000, geom.Rect{MaxX: 100, MaxY: 100}, 0.6, seed)
+	clients := ds.Sample(700, seed+1)
+	// Facilities concentrate in the densest area: find the densest 10x10
+	// cell and place most facilities there.
+	counts := map[[2]int]int{}
+	for _, p := range clients {
+		counts[[2]int{int(p.X / 10), int(p.Y / 10)}]++
+	}
+	bestCell, bestCount := [2]int{}, -1
+	for cell, c := range counts {
+		if c > bestCount {
+			bestCell, bestCount = cell, c
+		}
+	}
+	var facilities []geom.Point
+	for i := 0; i < 30; i++ {
+		facilities = append(facilities, geom.Pt(
+			float64(bestCell[0])*10+float64(i%6)*1.6+0.8,
+			float64(bestCell[1])*10+float64(i/6)*1.9+0.9,
+		))
+	}
+	// A handful of facilities elsewhere so NN-circles stay bounded.
+	facilities = append(facilities,
+		geom.Pt(5, 95), geom.Pt(95, 5), geom.Pt(95, 95), geom.Pt(5, 5), geom.Pt(50, 50))
+	ncs, err := nncircle.Compute(clients, facilities, geom.L2)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.CRESTL2(ncs, core.Options{Measure: influence.Size(), DiscardLabels: true})
+	if err != nil {
+		return nil, err
+	}
+	best := res.MaxLabel.Point
+	densest := geom.Pt(float64(bestCell[0])*10+5, float64(bestCell[1])*10+5)
+	same := int(best.X/10) == bestCell[0] && int(best.Y/10) == bestCell[1]
+	return &Fig2Result{
+		DensestCell:      densest,
+		DensestCellCount: bestCount,
+		BestRegionPoint:  best,
+		BestRegionHeat:   res.MaxHeat,
+		SameCell:         same,
+	}, nil
+}
+
+// FormatTable renders rows as an aligned text table grouped by data set,
+// with one column per algorithm, mirroring how the paper's figures are read
+// (running time per parameter value and algorithm).
+func FormatTable(rows []Row) string {
+	if len(rows) == 0 {
+		return "(no rows)\n"
+	}
+	type key struct{ ds, param string }
+	algs := []string{}
+	algSeen := map[string]bool{}
+	vals := map[key]map[string]Row{}
+	var order []key
+	for _, r := range rows {
+		if !algSeen[r.Algorithm] {
+			algSeen[r.Algorithm] = true
+			algs = append(algs, r.Algorithm)
+		}
+		k := key{r.Dataset, r.Param}
+		if _, ok := vals[k]; !ok {
+			vals[k] = map[string]Row{}
+			order = append(order, k)
+		}
+		vals[k][r.Algorithm] = r
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].ds != order[j].ds {
+			return order[i].ds < order[j].ds
+		}
+		return false // keep parameter order as produced
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", rows[0].Figure)
+	fmt.Fprintf(&b, "%-10s %-14s", "dataset", "param")
+	for _, a := range algs {
+		fmt.Fprintf(&b, " %16s", a+" (ms)")
+	}
+	fmt.Fprintf(&b, " %12s %10s\n", "labelings", "maxRNN")
+	for _, k := range order {
+		fmt.Fprintf(&b, "%-10s %-14s", k.ds, k.param)
+		var labelings, maxRNN int
+		for _, a := range algs {
+			r, ok := vals[k][a]
+			if !ok {
+				fmt.Fprintf(&b, " %16s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %16.2f", float64(r.Duration.Microseconds())/1000)
+			if a == "CREST" || a == "CREST-L2" {
+				labelings, maxRNN = r.Labelings, r.MaxRNN
+			}
+		}
+		fmt.Fprintf(&b, " %12d %10d\n", labelings, maxRNN)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg keeps the sweeps small enough for unit tests.
+func quickCfg() SweepConfig {
+	return SweepConfig{Datasets: []string{"Uniform"}, Seed: 3, BaselineLimit: 1 << 9, PruningBudget: 2000}
+}
+
+func TestFig16Quick(t *testing.T) {
+	rows, err := Fig16(quickCfg(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |O| = 2^10 exceeds the baseline limit of 2^9, so only CREST-A and
+	// CREST rows appear: 2 ratios x 2 algorithms.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	byAlg := map[string][]Row{}
+	for _, r := range rows {
+		if r.Duration <= 0 || r.Labelings == 0 {
+			t.Errorf("row not measured: %+v", r)
+		}
+		byAlg[r.Algorithm] = append(byAlg[r.Algorithm], r)
+	}
+	if len(byAlg["CREST"]) != 2 || len(byAlg["CREST-A"]) != 2 {
+		t.Fatalf("unexpected algorithm mix: %v", byAlg)
+	}
+	// CREST must not label more regions than CREST-A on the same workload.
+	for i := range byAlg["CREST"] {
+		if byAlg["CREST"][i].Labelings > byAlg["CREST-A"][i].Labelings {
+			t.Errorf("CREST labels more than CREST-A: %+v vs %+v", byAlg["CREST"][i], byAlg["CREST-A"][i])
+		}
+	}
+}
+
+func TestFig17QuickIncludesBaseline(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BaselineLimit = 1 << 8
+	rows, err := Fig17(cfg, []int{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := map[string]int{}
+	for _, r := range rows {
+		algs[r.Algorithm]++
+	}
+	// BA runs only for |O| = 2^7 and 2^8 <= limit 2^8: both sizes qualify.
+	if algs["BA"] != 2 || algs["CREST"] != 2 || algs["CREST-A"] != 2 {
+		t.Fatalf("algorithm counts: %v", algs)
+	}
+	// The baseline must be slower than CREST on the same workloads (this is
+	// the paper's core claim; at these tiny sizes the gap is already large).
+	var baSum, crestSum time.Duration
+	for _, r := range rows {
+		switch r.Algorithm {
+		case "BA":
+			baSum += r.Duration
+		case "CREST":
+			crestSum += r.Duration
+		}
+	}
+	if baSum <= crestSum {
+		t.Errorf("expected BA (%v) to be slower than CREST (%v)", baSum, crestSum)
+	}
+}
+
+func TestFig18And19Quick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BaselineLimit = 1 << 10
+	rows18, err := Fig18(cfg, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows18) != 2 {
+		t.Fatalf("Fig18 rows: %d", len(rows18))
+	}
+	// Both comparators must agree on the maximum influence they report.
+	if diff := rows18[0].MaxHeat - rows18[1].MaxHeat; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Pruning and CREST-L2 disagree on max influence: %+v", rows18)
+	}
+	rows19, err := Fig19(cfg, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows19) != 2 {
+		t.Fatalf("Fig19 rows: %d", len(rows19))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 2 || rows[0].Dataset != "NYC" || rows[1].Dataset != "LA" {
+		t.Fatalf("Table2 = %+v", rows)
+	}
+	if rows[0].Labelings != 128547 || rows[1].Labelings != 116596 {
+		t.Errorf("cardinalities do not match Table II: %+v", rows)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Fig2(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DensestCellCount == 0 || res.BestRegionHeat <= 0 {
+		t.Fatalf("Fig2 result incomplete: %+v", res)
+	}
+	// The point of Fig. 2: the most influential region is NOT in the densest
+	// client cell, because that cell is saturated with existing facilities.
+	if res.SameCell {
+		t.Errorf("expected the best region to fall outside the densest client cell: %+v", res)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows, err := Fig16(quickCfg(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatTable(rows)
+	for _, want := range []string{"Fig16", "Uniform", "CREST", "labelings"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if FormatTable(nil) != "(no rows)\n" {
+		t.Errorf("empty table rendering wrong")
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	if _, err := Fig16(SweepConfig{Datasets: []string{"mars"}}, []int{1}); err == nil {
+		t.Errorf("unknown data set should error")
+	}
+}

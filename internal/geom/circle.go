@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a metric ball: the set of points within Radius of Center under a
+// given metric. Under L-infinity it is an axis-aligned square, under L1 a
+// diamond and under L2 a disk. In the paper these are the "NN-circles".
+type Circle struct {
+	Center Point
+	Radius float64
+	Metric Metric
+}
+
+// NewCircle returns the metric ball with the given center, radius and metric.
+func NewCircle(center Point, radius float64, metric Metric) Circle {
+	return Circle{Center: center, Radius: radius, Metric: metric}
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("%s-circle(center=%s, r=%g)", c.Metric, c.Center, c.Radius)
+}
+
+// Contains reports whether p lies inside or on the boundary of c.
+func (c Circle) Contains(p Point) bool {
+	return c.Metric.Distance(c.Center, p) <= c.Radius
+}
+
+// ContainsStrict reports whether p lies strictly inside c.
+func (c Circle) ContainsStrict(p Point) bool {
+	return c.Metric.Distance(c.Center, p) < c.Radius
+}
+
+// BoundingRect returns the smallest axis-aligned rectangle containing c.
+// For L-infinity circles the bounding rectangle is the circle itself.
+func (c Circle) BoundingRect() Rect {
+	return RectFromCenter(c.Center, c.Radius)
+}
+
+// IntersectsRect reports whether c and r share at least one point.
+func (c Circle) IntersectsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return false
+	}
+	return c.Metric.MinDistToRect(c.Center, r) <= c.Radius
+}
+
+// Intersects reports whether two circles of the same metric share at least
+// one point. It panics when the metrics differ.
+func (c Circle) Intersects(d Circle) bool {
+	if c.Metric != d.Metric {
+		panic("geom: cannot intersect circles of different metrics")
+	}
+	return c.Metric.Distance(c.Center, d.Center) <= c.Radius+d.Radius
+}
+
+// LeftX and RightX return the x-coordinates of the leftmost and rightmost
+// points of the circle; TopY and BottomY the extreme y-coordinates. These are
+// the event coordinates of the sweep line algorithms.
+func (c Circle) LeftX() float64   { return c.Center.X - c.Radius }
+func (c Circle) RightX() float64  { return c.Center.X + c.Radius }
+func (c Circle) BottomY() float64 { return c.Center.Y - c.Radius }
+func (c Circle) TopY() float64    { return c.Center.Y + c.Radius }
+
+// YAtX returns the lower and upper y-coordinates of the circle boundary at
+// vertical line x, and ok=false when the line does not cut the circle. For
+// square (L-infinity) and diamond (L1) circles the boundary is piecewise
+// linear; for L2 circles it is the usual chord.
+func (c Circle) YAtX(x float64) (lo, hi float64, ok bool) {
+	dx := math.Abs(x - c.Center.X)
+	if dx > c.Radius {
+		return 0, 0, false
+	}
+	var h float64
+	switch c.Metric {
+	case LInf:
+		h = c.Radius
+	case L1:
+		h = c.Radius - dx
+	case L2:
+		h = math.Sqrt(c.Radius*c.Radius - dx*dx)
+	default:
+		panic("geom: invalid metric " + c.Metric.String())
+	}
+	return c.Center.Y - h, c.Center.Y + h, true
+}
+
+// CircleIntersections returns the intersection points of the boundaries of
+// two L2 circles. It returns zero points when the circles do not intersect
+// or one contains the other, one point when they are tangent and two points
+// otherwise. Both circles must use the L2 metric.
+func CircleIntersections(a, b Circle) []Point {
+	if a.Metric != L2 || b.Metric != L2 {
+		panic("geom: CircleIntersections requires L2 circles")
+	}
+	d := Distance(a.Center, b.Center)
+	if d == 0 {
+		return nil // concentric: no boundary intersections (or infinitely many)
+	}
+	if d > a.Radius+b.Radius || d < math.Abs(a.Radius-b.Radius) {
+		return nil
+	}
+	// Distance from a.Center to the chord midpoint along the center line.
+	l := (a.Radius*a.Radius - b.Radius*b.Radius + d*d) / (2 * d)
+	hSq := a.Radius*a.Radius - l*l
+	if hSq < 0 {
+		hSq = 0
+	}
+	h := math.Sqrt(hSq)
+	ex := (b.Center.X - a.Center.X) / d
+	ey := (b.Center.Y - a.Center.Y) / d
+	mid := Point{a.Center.X + l*ex, a.Center.Y + l*ey}
+	if h == 0 {
+		return []Point{mid}
+	}
+	p1 := Point{mid.X + h*ey, mid.Y - h*ex}
+	p2 := Point{mid.X - h*ey, mid.Y + h*ex}
+	return []Point{p1, p2}
+}

@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies one of the three distance metrics the paper considers.
+type Metric int
+
+const (
+	// LInf is the Chebyshev (maximum-coordinate-difference) metric. Its
+	// nearest-neighbor circles are axis-aligned squares.
+	LInf Metric = iota
+	// L1 is the Manhattan metric. Its nearest-neighbor circles are diamonds
+	// (squares rotated by π/4).
+	L1
+	// L2 is the Euclidean metric. Its nearest-neighbor circles are disks.
+	L2
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case LInf:
+		return "Linf"
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the supported metrics.
+func (m Metric) Valid() bool { return m == LInf || m == L1 || m == L2 }
+
+// Distance returns the distance between p and q under metric m.
+func (m Metric) Distance(p, q Point) float64 {
+	dx := math.Abs(p.X - q.X)
+	dy := math.Abs(p.Y - q.Y)
+	switch m {
+	case LInf:
+		return math.Max(dx, dy)
+	case L1:
+		return dx + dy
+	case L2:
+		return math.Hypot(dx, dy)
+	default:
+		panic("geom: invalid metric " + m.String())
+	}
+}
+
+// Distance returns the Euclidean (L2) distance between p and q.
+func Distance(p, q Point) float64 { return L2.Distance(p, q) }
+
+// DistanceSquared returns the squared Euclidean distance between p and q.
+// It avoids the square root for comparison-only call sites.
+func DistanceSquared(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// MinDistToRect returns a lower bound on the distance from p to any point of
+// r under metric m. It is used by best-first nearest-neighbor search.
+func (m Metric) MinDistToRect(p Point, r Rect) float64 {
+	dx := axisGap(p.X, r.MinX, r.MaxX)
+	dy := axisGap(p.Y, r.MinY, r.MaxY)
+	switch m {
+	case LInf:
+		return math.Max(dx, dy)
+	case L1:
+		return dx + dy
+	case L2:
+		return math.Hypot(dx, dy)
+	default:
+		panic("geom: invalid metric " + m.String())
+	}
+}
+
+// axisGap returns how far v lies outside the interval [lo, hi], or 0 when it
+// lies inside.
+func axisGap(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,58 @@
+// Package geom provides the two-dimensional geometric primitives used by the
+// RNN heat map algorithms: points, rectangles, distance metrics (L1, L2 and
+// L-infinity), nearest-neighbor circles under each metric, circle–circle
+// intersections and the π/4 rotation that maps the L1 metric onto L-infinity.
+//
+// All coordinates are float64 and the space is the Euclidean plane. The
+// package is dependency free and is the substrate for every other package in
+// the repository.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s about the origin.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// AlmostEqual reports whether p and q are within eps in both coordinates.
+func (p Point) AlmostEqual(q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Midpoint returns the point halfway between p and q.
+func (p Point) Midpoint(q Point) Point {
+	return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2}
+}
+
+// Rotate returns p rotated counter-clockwise about the origin by theta radians.
+func (p Point) Rotate(theta float64) Point {
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	return Point{p.X*cos - p.Y*sin, p.X*sin + p.Y*cos}
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}

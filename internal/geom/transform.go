@@ -1,0 +1,48 @@
+package geom
+
+import "math"
+
+// The L1 metric is equivalent to the L-infinity metric after rotating the
+// plane by π/4 (and scaling by 1/√2): an L1 diamond of radius r maps to an
+// L-infinity square of radius r/√2. RotateL1ToLInf and its inverse implement
+// this change of coordinates, which lets the L-infinity sweep line algorithm
+// solve the L1 case unchanged (Section VII-B of the paper).
+
+// sqrt2Inv is 1/√2.
+var sqrt2Inv = 1 / math.Sqrt2
+
+// RotateL1ToLInf maps a point from the original (L1) coordinate system into
+// the rotated system in which L1 balls become axis-aligned squares. The map
+// is x' = (x - y)/√2 rotated convention; we use the standard rotation by
+// +π/4 followed by no scaling of coordinates, under which an L1 ball of
+// radius r becomes an L-infinity ball of radius r/√2.
+func RotateL1ToLInf(p Point) Point {
+	// Rotation by +π/4: (x', y') = ((x-y)/√2, (x+y)/√2).
+	return Point{(p.X - p.Y) * sqrt2Inv, (p.X + p.Y) * sqrt2Inv}
+}
+
+// RotateLInfToL1 is the inverse of RotateL1ToLInf.
+func RotateLInfToL1(p Point) Point {
+	// Inverse rotation by -π/4: (x, y) = ((x'+y')/√2, (y'-x')/√2).
+	return Point{(p.X + p.Y) * sqrt2Inv, (p.Y - p.X) * sqrt2Inv}
+}
+
+// L1RadiusToLInf converts an L1 ball radius to the radius of the equivalent
+// L-infinity ball in the rotated coordinate system.
+func L1RadiusToLInf(r float64) float64 { return r * sqrt2Inv }
+
+// LInfRadiusToL1 is the inverse of L1RadiusToLInf.
+func LInfRadiusToL1(r float64) float64 { return r * math.Sqrt2 }
+
+// RotateCircleL1ToLInf maps an L1 circle to the equivalent L-infinity circle
+// in the rotated coordinate system.
+func RotateCircleL1ToLInf(c Circle) Circle {
+	if c.Metric != L1 {
+		panic("geom: RotateCircleL1ToLInf requires an L1 circle")
+	}
+	return Circle{
+		Center: RotateL1ToLInf(c.Center),
+		Radius: L1RadiusToLInf(c.Radius),
+		Metric: LInf,
+	}
+}

@@ -1,0 +1,191 @@
+package influence
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rnnheatmap/internal/oset"
+)
+
+func TestSize(t *testing.T) {
+	m := Size()
+	if m.Name() != "size" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if got := m.Influence(oset.New()); got != 0 {
+		t.Errorf("empty set influence = %g", got)
+	}
+	if got := m.Influence(oset.New(1, 2, 3)); got != 3 {
+		t.Errorf("influence = %g, want 3", got)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	m := Weighted([]float64{2, 0.5, 3})
+	if got := m.Influence(oset.New(0, 2)); got != 5 {
+		t.Errorf("influence = %g, want 5", got)
+	}
+	// Out-of-range members default to weight 1.
+	if got := m.Influence(oset.New(0, 7)); got != 3 {
+		t.Errorf("influence with default weight = %g, want 3", got)
+	}
+	if got := m.Influence(oset.New()); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	if m.Name() != "weighted" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestConnectivityPaperExample(t *testing.T) {
+	// Fig. 3 of the paper: clients o1..o4 (indexes 0..3); o1, o2 and o4 are
+	// pairwise connected (3 edges); o3 is isolated.
+	edges := [][2]int{{0, 1}, {0, 3}, {1, 3}}
+	m := Connectivity(edges)
+	if m.Name() != "connectivity" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	// RNN set {o1, o2, o4} has influence 3.
+	if got := m.Influence(oset.New(0, 1, 3)); got != 3 {
+		t.Errorf("{o1,o2,o4} influence = %g, want 3", got)
+	}
+	// RNN set {o1, o3, o4} has influence 1 (only the o1-o4 edge).
+	if got := m.Influence(oset.New(0, 2, 3)); got != 1 {
+		t.Errorf("{o1,o3,o4} influence = %g, want 1", got)
+	}
+	// Singletons and empty sets have no edges.
+	if got := m.Influence(oset.New(0)); got != 0 {
+		t.Errorf("singleton influence = %g", got)
+	}
+	if got := m.Influence(oset.New()); got != 0 {
+		t.Errorf("empty influence = %g", got)
+	}
+}
+
+func TestConnectivitySelfLoopAndDuplicateEdges(t *testing.T) {
+	m := Connectivity([][2]int{{1, 1}, {1, 2}, {1, 2}})
+	// The self loop is ignored; the duplicate edge counts twice, which is a
+	// property of multigraph input (callers should de-duplicate if undesired).
+	if got := m.Influence(oset.New(1, 2)); got != 2 {
+		t.Errorf("influence = %g, want 2", got)
+	}
+}
+
+func TestCapacityMeasure(t *testing.T) {
+	// Three facilities with capacities 2, 1, 10; five clients assigned
+	// 0,0,0,1,2. Base total = min(2,3)+min(1,1)+min(10,1) = 2+1+1 = 4.
+	ctx := CapacityContext{
+		Assignment:          []int{0, 0, 0, 1, 2},
+		Capacities:          []float64{2, 1, 10},
+		NewFacilityCapacity: 2,
+	}
+	m := Capacity(ctx)
+	if m.Name() != "capacity" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	// Empty RNN set: nothing stolen, candidate serves 0. Total stays 4.
+	if got := m.Influence(oset.New()); got != 4 {
+		t.Errorf("empty influence = %g, want 4", got)
+	}
+	// Steal client 0 (from facility 0, which was over capacity): facility 0
+	// still serves min(2,2)=2, candidate serves 1. Total = 2+1+1+1 = 5.
+	if got := m.Influence(oset.New(0)); got != 5 {
+		t.Errorf("steal one over-capacity client = %g, want 5", got)
+	}
+	// Steal clients 0,1,2,3: facility 0 serves 0, facility 1 serves 0,
+	// facility 2 serves 1, candidate serves min(2,4)=2. Total = 0+0+1+2 = 3.
+	if got := m.Influence(oset.New(0, 1, 2, 3)); got != 3 {
+		t.Errorf("steal many = %g, want 3", got)
+	}
+	// Stealing from the under-used facility 2 is a net zero with a large
+	// candidate capacity: candidate +1, facility 2 -1.
+	if got := m.Influence(oset.New(4)); got != 4 {
+		t.Errorf("steal from under-used = %g, want 4", got)
+	}
+}
+
+func TestCapacityMatchesDirectComputation(t *testing.T) {
+	// Cross-check the incremental computation against a from-scratch
+	// evaluation of Σ min{c(f), |R(f)|} for every subset of a small instance.
+	assignment := []int{0, 1, 0, 2, 1, 0}
+	capacities := []float64{2, 1, 3}
+	newCap := 2.0
+	m := Capacity(CapacityContext{Assignment: assignment, Capacities: capacities, NewFacilityCapacity: newCap})
+
+	direct := func(members []int) float64 {
+		inSet := map[int]bool{}
+		for _, o := range members {
+			inSet[o] = true
+		}
+		counts := make([]int, len(capacities))
+		for o, f := range assignment {
+			if !inSet[o] {
+				counts[f]++
+			}
+		}
+		total := math.Min(newCap, float64(len(members)))
+		for f, c := range capacities {
+			total += math.Min(c, float64(counts[f]))
+		}
+		return total
+	}
+
+	n := len(assignment)
+	for mask := 0; mask < (1 << n); mask++ {
+		var members []int
+		for o := 0; o < n; o++ {
+			if mask&(1<<o) != 0 {
+				members = append(members, o)
+			}
+		}
+		want := direct(members)
+		got := m.Influence(oset.New(members...))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("subset %v: incremental %g, direct %g", members, got, want)
+		}
+	}
+}
+
+func TestCapacityUnboundedFacility(t *testing.T) {
+	// A facility index beyond Capacities is treated as unbounded.
+	m := Capacity(CapacityContext{
+		Assignment:          []int{5, 5, 5},
+		Capacities:          []float64{},
+		NewFacilityCapacity: 1,
+	})
+	// Base total = min(inf,3) = 3; stealing one: facility keeps 2, candidate
+	// gets 1 → 3.
+	if got := m.Influence(oset.New(0)); got != 3 {
+		t.Errorf("influence = %g, want 3", got)
+	}
+}
+
+func TestGain(t *testing.T) {
+	m := Gain(3)
+	if m.Name() != "capacity-gain" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if got := m.Influence(oset.New(1, 2)); got != 2 {
+		t.Errorf("gain below capacity = %g", got)
+	}
+	if got := m.Influence(oset.New(1, 2, 3, 4, 5)); got != 3 {
+		t.Errorf("gain above capacity = %g", got)
+	}
+}
+
+func TestFuncAndDescribe(t *testing.T) {
+	m := Func("double", func(rnn *oset.Set) float64 { return 2 * float64(rnn.Len()) })
+	if m.Name() != "double" || m.Influence(oset.New(1, 2)) != 4 {
+		t.Errorf("Func measure wrong")
+	}
+	for _, measure := range []Measure{Size(), Weighted(nil), Connectivity(nil), Gain(1), m,
+		Capacity(CapacityContext{Assignment: []int{0}})} {
+		if Describe(measure) == "" {
+			t.Errorf("Describe(%s) empty", measure.Name())
+		}
+	}
+	if !strings.Contains(Describe(m), "double") {
+		t.Errorf("Describe of custom measure should mention its name")
+	}
+}

@@ -1,0 +1,191 @@
+// Package kdtree implements a static two-dimensional k-d tree over points
+// with nearest-neighbor and k-nearest-neighbor search under the L1, L2 and
+// L-infinity metrics, plus range reporting.
+//
+// It serves two roles in the repository: an alternative substrate for the
+// NN-circle construction step (each client's nearest facility), and an
+// independent implementation used to cross-check the R-tree in tests.
+package kdtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"rnnheatmap/internal/geom"
+)
+
+// Point is an indexed point with an opaque caller-chosen identifier.
+type Point struct {
+	P  geom.Point
+	ID int
+}
+
+// Tree is an immutable k-d tree. Build one with Build.
+type Tree struct {
+	nodes []node // implicit tree stored in build order
+	size  int
+}
+
+type node struct {
+	pt          Point
+	axis        int // 0 = x, 1 = y
+	left, right int // indexes into nodes, -1 when absent
+}
+
+// Build constructs a balanced k-d tree over pts. The input slice is not
+// modified.
+func Build(pts []Point) *Tree {
+	t := &Tree{size: len(pts)}
+	if len(pts) == 0 {
+		return t
+	}
+	work := make([]Point, len(pts))
+	copy(work, pts)
+	t.nodes = make([]node, 0, len(pts))
+	t.build(work, 0)
+	return t
+}
+
+// build recursively partitions work by the median along the splitting axis
+// and returns the index of the created subtree root.
+func (t *Tree) build(work []Point, depth int) int {
+	if len(work) == 0 {
+		return -1
+	}
+	axis := depth % 2
+	sort.Slice(work, func(i, j int) bool {
+		if axis == 0 {
+			return work[i].P.X < work[j].P.X
+		}
+		return work[i].P.Y < work[j].P.Y
+	})
+	mid := len(work) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{pt: work[mid], axis: axis, left: -1, right: -1})
+	// Children are appended after the parent; record their indexes afterwards.
+	left := t.build(work[:mid], depth+1)
+	right := t.build(work[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Neighbor is a k-nearest-neighbor result.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// maxHeap keeps the k current-best neighbors with the worst on top.
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestNeighbors returns the k points nearest to q under metric m in
+// increasing distance order.
+func (t *Tree) NearestNeighbors(k int, q geom.Point, m geom.Metric) []Neighbor {
+	if t.size == 0 || k <= 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	t.knn(0, q, m, k, h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+// Nearest returns the single nearest point to q under metric m.
+func (t *Tree) Nearest(q geom.Point, m geom.Metric) (Neighbor, bool) {
+	res := t.NearestNeighbors(1, q, m)
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+func (t *Tree) knn(idx int, q geom.Point, m geom.Metric, k int, h *maxHeap) {
+	if idx < 0 {
+		return
+	}
+	n := &t.nodes[idx]
+	d := m.Distance(q, n.pt.P)
+	if h.Len() < k {
+		heap.Push(h, Neighbor{ID: n.pt.ID, Dist: d})
+	} else if d < (*h)[0].Dist {
+		(*h)[0] = Neighbor{ID: n.pt.ID, Dist: d}
+		heap.Fix(h, 0)
+	}
+	var qCoord, splitCoord float64
+	if n.axis == 0 {
+		qCoord, splitCoord = q.X, n.pt.P.X
+	} else {
+		qCoord, splitCoord = q.Y, n.pt.P.Y
+	}
+	near, far := n.left, n.right
+	if qCoord > splitCoord {
+		near, far = far, near
+	}
+	t.knn(near, q, m, k, h)
+	// The axis-aligned plane distance lower-bounds all three metrics, so the
+	// same pruning rule is valid for L1, L2 and L-infinity.
+	planeDist := splitCoord - qCoord
+	if planeDist < 0 {
+		planeDist = -planeDist
+	}
+	if h.Len() < k || planeDist <= (*h)[0].Dist {
+		t.knn(far, q, m, k, h)
+	}
+}
+
+// Range calls fn for every indexed point lying inside query (boundary
+// included) until fn returns false.
+func (t *Tree) Range(query geom.Rect, fn func(Point) bool) {
+	if t.size == 0 || query.IsEmpty() {
+		return
+	}
+	t.rangeSearch(0, query, fn)
+}
+
+func (t *Tree) rangeSearch(idx int, query geom.Rect, fn func(Point) bool) bool {
+	if idx < 0 {
+		return true
+	}
+	n := &t.nodes[idx]
+	if query.Contains(n.pt.P) {
+		if !fn(n.pt) {
+			return false
+		}
+	}
+	var coord, lo, hi float64
+	if n.axis == 0 {
+		coord, lo, hi = n.pt.P.X, query.MinX, query.MaxX
+	} else {
+		coord, lo, hi = n.pt.P.Y, query.MinY, query.MaxY
+	}
+	if lo <= coord {
+		if !t.rangeSearch(n.left, query, fn) {
+			return false
+		}
+	}
+	if hi >= coord {
+		if !t.rangeSearch(n.right, query, fn) {
+			return false
+		}
+	}
+	return true
+}

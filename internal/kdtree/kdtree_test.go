@@ -1,0 +1,187 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int, span float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{ID: i, P: geom.Pt(rng.Float64()*span, rng.Float64()*span)}
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Nearest(geom.Pt(0, 0), geom.L2); ok {
+		t.Errorf("Nearest on empty tree should fail")
+	}
+	if got := tr.NearestNeighbors(3, geom.Pt(0, 0), geom.L2); got != nil {
+		t.Errorf("kNN on empty tree = %v", got)
+	}
+	tr.Range(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, func(Point) bool {
+		t.Errorf("Range on empty tree should not call fn")
+		return true
+	})
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := Build([]Point{{ID: 42, P: geom.Pt(1, 2)}})
+	nb, ok := tr.Nearest(geom.Pt(5, 5), geom.L1)
+	if !ok || nb.ID != 42 || nb.Dist != 7 {
+		t.Errorf("Nearest = %+v, %v", nb, ok)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := randomPoints(rng, 2000, 100)
+	tr := Build(pts)
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, m := range []geom.Metric{geom.LInf, geom.L1, geom.L2} {
+		for q := 0; q < 300; q++ {
+			p := geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+			nb, ok := tr.Nearest(p, m)
+			if !ok {
+				t.Fatalf("Nearest failed")
+			}
+			best := -1
+			bestD := 1e18
+			for _, cand := range pts {
+				if d := m.Distance(p, cand.P); d < bestD {
+					bestD, best = d, cand.ID
+				}
+			}
+			if nb.Dist != bestD && nb.ID != best {
+				t.Fatalf("metric %v: Nearest(%v) = %+v, brute force id %d dist %g", m, p, nb, best, bestD)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 1000, 50)
+	tr := Build(pts)
+	for q := 0; q < 200; q++ {
+		m := []geom.Metric{geom.LInf, geom.L1, geom.L2}[q%3]
+		p := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		k := 1 + rng.Intn(20)
+		got := tr.NearestNeighbors(k, p, m)
+		if len(got) != k {
+			t.Fatalf("kNN returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(pts))
+		for i, cand := range pts {
+			dists[i] = m.Distance(p, cand.P)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if i > 0 && got[i-1].Dist > nb.Dist+1e-12 {
+				t.Fatalf("kNN not sorted")
+			}
+			if nb.Dist > dists[i]+1e-9 {
+				t.Fatalf("kNN %d-th dist %g > brute force %g", i, nb.Dist, dists[i])
+			}
+		}
+	}
+}
+
+func TestKNNMoreThanSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := randomPoints(rng, 10, 10)
+	tr := Build(pts)
+	got := tr.NearestNeighbors(50, geom.Pt(5, 5), geom.L2)
+	if len(got) != 10 {
+		t.Errorf("kNN with k>size returned %d, want 10", len(got))
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := randomPoints(rng, 1500, 100)
+	tr := Build(pts)
+	for q := 0; q < 300; q++ {
+		query := geom.RectFromCenter(geom.Pt(rng.Float64()*100, rng.Float64()*100), rng.Float64()*15)
+		want := map[int]bool{}
+		for _, p := range pts {
+			if query.Contains(p.P) {
+				want[p.ID] = true
+			}
+		}
+		got := map[int]bool{}
+		tr.Range(query, func(p Point) bool {
+			got[p.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("Range returned %d points, want %d", len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("Range missing %d", id)
+			}
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tr := Build(randomPoints(rng, 500, 10))
+	calls := 0
+	tr.Range(geom.Rect{MinX: -1, MinY: -1, MaxX: 11, MaxY: 11}, func(Point) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Errorf("early stop visited %d, want 7", calls)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{ID: i, P: geom.Pt(3, 3)}
+	}
+	tr := Build(pts)
+	got := tr.NearestNeighbors(64, geom.Pt(0, 0), geom.L2)
+	if len(got) != 64 {
+		t.Fatalf("kNN over duplicates = %d", len(got))
+	}
+	count := 0
+	tr.Range(geom.Rect{MinX: 3, MinY: 3, MaxX: 3, MaxY: 3}, func(Point) bool {
+		count++
+		return true
+	})
+	if count != 64 {
+		t.Errorf("Range over duplicates = %d", count)
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	pts := randomPoints(rng, 10000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	tr := Build(randomPoints(rng, 50000, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), geom.L2)
+	}
+}

@@ -1,0 +1,149 @@
+// Package nncircle constructs the nearest-neighbor circles ("NN-circles")
+// that form the input of the Region Coloring problem.
+//
+// Given a client set O and a facility set F and a distance metric, the
+// NN-circle of a client o is the metric ball centered at o whose radius is
+// the distance from o to its nearest facility (Section III-A of the paper).
+// Any point inside the NN-circle of o is closer to o than o's current
+// nearest facility, i.e. placing a new facility there captures o as a
+// reverse nearest neighbor.
+//
+// The package supports the bichromatic case (O and F distinct) and the
+// monochromatic case (O = F, nearest neighbor excluding the point itself),
+// under the L1, L2 and L-infinity metrics.
+package nncircle
+
+import (
+	"errors"
+	"fmt"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/kdtree"
+)
+
+// NNCircle is the NN-circle of one client.
+type NNCircle struct {
+	// Client is the index of the client in the input slice.
+	Client int
+	// Facility is the index of the client's nearest facility in the input
+	// slice (for the monochromatic case, the index of the nearest other
+	// point). Influence measures that depend on the current assignment, such
+	// as the capacity-constrained measure, use this field.
+	Facility int
+	// Circle is the metric ball: center = the client, radius = distance to
+	// the nearest facility.
+	Circle geom.Circle
+}
+
+// ErrNoFacilities is returned when the facility set is empty: every client's
+// NN-circle would be unbounded.
+var ErrNoFacilities = errors.New("nncircle: facility set is empty")
+
+// ErrNoClients is returned when the client set is empty.
+var ErrNoClients = errors.New("nncircle: client set is empty")
+
+// Compute returns the bichromatic NN-circles of all clients with respect to
+// facilities under metric m. The result is ordered by client index.
+func Compute(clients, facilities []geom.Point, m geom.Metric) ([]NNCircle, error) {
+	if len(clients) == 0 {
+		return nil, ErrNoClients
+	}
+	if len(facilities) == 0 {
+		return nil, ErrNoFacilities
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("nncircle: invalid metric %v", m)
+	}
+	pts := make([]kdtree.Point, len(facilities))
+	for i, f := range facilities {
+		pts[i] = kdtree.Point{ID: i, P: f}
+	}
+	tree := kdtree.Build(pts)
+	out := make([]NNCircle, len(clients))
+	for i, o := range clients {
+		nb, ok := tree.Nearest(o, m)
+		if !ok {
+			return nil, ErrNoFacilities
+		}
+		out[i] = NNCircle{
+			Client:   i,
+			Facility: nb.ID,
+			Circle:   geom.NewCircle(o, nb.Dist, m),
+		}
+	}
+	return out, nil
+}
+
+// ComputeMono returns the monochromatic NN-circles: each point's nearest
+// neighbor is sought within the same set, excluding the point itself. At
+// least two points are required.
+func ComputeMono(points []geom.Point, m geom.Metric) ([]NNCircle, error) {
+	if len(points) < 2 {
+		return nil, errors.New("nncircle: monochromatic case requires at least two points")
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("nncircle: invalid metric %v", m)
+	}
+	pts := make([]kdtree.Point, len(points))
+	for i, p := range points {
+		pts[i] = kdtree.Point{ID: i, P: p}
+	}
+	tree := kdtree.Build(pts)
+	out := make([]NNCircle, len(points))
+	for i, p := range points {
+		// Ask for the two nearest: the nearest is usually the point itself
+		// (distance 0) unless there are exact duplicates, in which case a
+		// duplicate with a different ID is an equally valid nearest neighbor.
+		nbs := tree.NearestNeighbors(2, p, m)
+		best := -1
+		bestDist := 0.0
+		for _, nb := range nbs {
+			if nb.ID != i {
+				best, bestDist = nb.ID, nb.Dist
+				break
+			}
+		}
+		if best < 0 {
+			// Both returned neighbors had the query's own ID, which can only
+			// happen with a single point; guarded above, but keep a clear error.
+			return nil, fmt.Errorf("nncircle: could not find a distinct neighbor for point %d", i)
+		}
+		out[i] = NNCircle{Client: i, Facility: best, Circle: geom.NewCircle(p, bestDist, m)}
+	}
+	return out, nil
+}
+
+// Circles extracts just the geometric circles, in the same order.
+func Circles(ncs []NNCircle) []geom.Circle {
+	out := make([]geom.Circle, len(ncs))
+	for i, nc := range ncs {
+		out[i] = nc.Circle
+	}
+	return out
+}
+
+// RotateL1ToLInf maps L1 NN-circles into the rotated coordinate system in
+// which they become L-infinity squares, preserving Client and Facility
+// indexes. It panics if any circle is not an L1 circle.
+func RotateL1ToLInf(ncs []NNCircle) []NNCircle {
+	out := make([]NNCircle, len(ncs))
+	for i, nc := range ncs {
+		out[i] = NNCircle{
+			Client:   nc.Client,
+			Facility: nc.Facility,
+			Circle:   geom.RotateCircleL1ToLInf(nc.Circle),
+		}
+	}
+	return out
+}
+
+// MaxRNNSetBound returns an upper bound on the maximum RNN set size λ for a
+// monochromatic input: Korn et al. show an RNN set contains at most six
+// points under L2 in two dimensions. For bichromatic inputs it returns the
+// number of circles (no better bound holds in general).
+func MaxRNNSetBound(ncs []NNCircle, monochromatic bool) int {
+	if monochromatic {
+		return 6
+	}
+	return len(ncs)
+}

@@ -1,0 +1,190 @@
+package nncircle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int, span float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*span, rng.Float64()*span)
+	}
+	return pts
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, []geom.Point{{}}, geom.L2); err != ErrNoClients {
+		t.Errorf("want ErrNoClients, got %v", err)
+	}
+	if _, err := Compute([]geom.Point{{}}, nil, geom.L2); err != ErrNoFacilities {
+		t.Errorf("want ErrNoFacilities, got %v", err)
+	}
+	if _, err := Compute([]geom.Point{{}}, []geom.Point{{}}, geom.Metric(9)); err == nil {
+		t.Errorf("invalid metric should error")
+	}
+	if _, err := ComputeMono([]geom.Point{{}}, geom.L2); err == nil {
+		t.Errorf("monochromatic with one point should error")
+	}
+	if _, err := ComputeMono([]geom.Point{{}, {X: 1}}, geom.Metric(9)); err == nil {
+		t.Errorf("invalid metric should error")
+	}
+}
+
+func TestComputePaperExample(t *testing.T) {
+	// Fig. 4 of the paper: two clients, one facility; both NN-circles are
+	// centered at the clients with radius = distance to f1.
+	clients := []geom.Point{geom.Pt(2, 2), geom.Pt(6, 5)}
+	facilities := []geom.Point{geom.Pt(4, 3)}
+	ncs, err := Compute(clients, facilities, geom.LInf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ncs) != 2 {
+		t.Fatalf("got %d circles", len(ncs))
+	}
+	if ncs[0].Circle.Radius != 2 || ncs[1].Circle.Radius != 2 {
+		t.Errorf("radii = %g, %g, want 2, 2", ncs[0].Circle.Radius, ncs[1].Circle.Radius)
+	}
+	for i, nc := range ncs {
+		if nc.Client != i || nc.Facility != 0 {
+			t.Errorf("circle %d: client=%d facility=%d", i, nc.Client, nc.Facility)
+		}
+		if !nc.Circle.Center.Equal(clients[i]) {
+			t.Errorf("circle %d not centered at its client", i)
+		}
+		if nc.Circle.Metric != geom.LInf {
+			t.Errorf("circle %d metric = %v", i, nc.Circle.Metric)
+		}
+	}
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	clients := randomPoints(rng, 500, 100)
+	facilities := randomPoints(rng, 60, 100)
+	for _, m := range []geom.Metric{geom.LInf, geom.L1, geom.L2} {
+		ncs, err := Compute(clients, facilities, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, nc := range ncs {
+			bestD := math.Inf(1)
+			for _, f := range facilities {
+				if d := m.Distance(clients[i], f); d < bestD {
+					bestD = d
+				}
+			}
+			if math.Abs(nc.Circle.Radius-bestD) > 1e-12 {
+				t.Fatalf("metric %v client %d: radius %g, brute force %g", m, i, nc.Circle.Radius, bestD)
+			}
+			if d := m.Distance(clients[i], facilities[nc.Facility]); math.Abs(d-bestD) > 1e-12 {
+				t.Fatalf("metric %v client %d: assigned facility is not a nearest one", m, i)
+			}
+		}
+	}
+}
+
+func TestComputeMonoMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	points := randomPoints(rng, 300, 50)
+	for _, m := range []geom.Metric{geom.LInf, geom.L1, geom.L2} {
+		ncs, err := ComputeMono(points, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, nc := range ncs {
+			if nc.Facility == i {
+				t.Fatalf("point %d assigned itself as nearest neighbor", i)
+			}
+			bestD := math.Inf(1)
+			for j, q := range points {
+				if j == i {
+					continue
+				}
+				if d := m.Distance(points[i], q); d < bestD {
+					bestD = d
+				}
+			}
+			if math.Abs(nc.Circle.Radius-bestD) > 1e-12 {
+				t.Fatalf("metric %v point %d: radius %g, brute force %g", m, i, nc.Circle.Radius, bestD)
+			}
+		}
+	}
+}
+
+func TestComputeMonoWithDuplicates(t *testing.T) {
+	points := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(5, 5)}
+	ncs, err := ComputeMono(points, geom.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncs[0].Circle.Radius != 0 || ncs[1].Circle.Radius != 0 {
+		t.Errorf("duplicate points should have radius-0 circles: %g %g", ncs[0].Circle.Radius, ncs[1].Circle.Radius)
+	}
+	if ncs[0].Facility == 0 || ncs[1].Facility == 1 {
+		t.Errorf("duplicates must not choose themselves")
+	}
+}
+
+func TestClientOnFacility(t *testing.T) {
+	ncs, err := Compute([]geom.Point{geom.Pt(3, 3)}, []geom.Point{geom.Pt(3, 3), geom.Pt(9, 9)}, geom.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncs[0].Circle.Radius != 0 || ncs[0].Facility != 0 {
+		t.Errorf("co-located client should have zero radius and facility 0: %+v", ncs[0])
+	}
+}
+
+func TestCirclesAndRotation(t *testing.T) {
+	clients := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}
+	facilities := []geom.Point{geom.Pt(1, 1)}
+	ncs, err := Compute(clients, facilities, geom.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circles := Circles(ncs)
+	if len(circles) != 2 || circles[0].Metric != geom.L1 {
+		t.Fatalf("Circles extraction wrong: %v", circles)
+	}
+	rot := RotateL1ToLInf(ncs)
+	if rot[0].Circle.Metric != geom.LInf || rot[1].Client != 1 {
+		t.Errorf("rotation lost metadata: %+v", rot)
+	}
+	// Membership is preserved under rotation.
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64()*6-1, rng.Float64()*6-1)
+		for j := range ncs {
+			if ncs[j].Circle.ContainsStrict(p) != rot[j].Circle.ContainsStrict(geom.RotateL1ToLInf(p)) {
+				t.Fatalf("rotation changed membership for %v in circle %d", p, j)
+			}
+		}
+	}
+}
+
+func TestMaxRNNSetBound(t *testing.T) {
+	ncs := make([]NNCircle, 10)
+	if MaxRNNSetBound(ncs, true) != 6 {
+		t.Errorf("monochromatic bound should be 6")
+	}
+	if MaxRNNSetBound(ncs, false) != 10 {
+		t.Errorf("bichromatic bound should be n")
+	}
+}
+
+func BenchmarkCompute10kClients(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	clients := randomPoints(rng, 10000, 1000)
+	facilities := randomPoints(rng, 500, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(clients, facilities, geom.L2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package oset implements the base-set data structure that CREST uses to
+// cache and incrementally modify RNN sets (Section V-C2 and V-D of the
+// paper). A Set holds client identifiers (small non-negative integers) with
+// O(1) insertion, removal and membership test and O(λ) snapshot, where λ is
+// the set size. Snapshots are required whenever a labeled RNN set must
+// survive subsequent sweep-line modifications.
+//
+// The implementation mirrors the paper's design: a doubly linked list of the
+// members (preserving insertion order so that snapshots are cheap and
+// deterministic) plus a random-access index (a map) from member to list node.
+package oset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// node is a doubly linked list node holding a single member.
+type node struct {
+	val        int
+	prev, next *node
+}
+
+// Set is an insertion-ordered set of client identifiers. The zero value is
+// not ready to use; call New.
+type Set struct {
+	head, tail *node
+	index      map[int]*node
+}
+
+// New returns an empty set. The optional members are added in order.
+func New(members ...int) *Set {
+	s := &Set{index: make(map[int]*node)}
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.index) }
+
+// Contains reports whether v is a member of s.
+func (s *Set) Contains(v int) bool {
+	_, ok := s.index[v]
+	return ok
+}
+
+// Add inserts v into s. Adding an existing member is a no-op. It reports
+// whether the set changed.
+func (s *Set) Add(v int) bool {
+	if _, ok := s.index[v]; ok {
+		return false
+	}
+	n := &node{val: v, prev: s.tail}
+	if s.tail != nil {
+		s.tail.next = n
+	} else {
+		s.head = n
+	}
+	s.tail = n
+	s.index[v] = n
+	return true
+}
+
+// Remove deletes v from s. Removing a non-member is a no-op. It reports
+// whether the set changed.
+func (s *Set) Remove(v int) bool {
+	n, ok := s.index[v]
+	if !ok {
+		return false
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	delete(s.index, v)
+	return true
+}
+
+// Members returns the members in insertion order. The returned slice is a
+// fresh copy safe to retain.
+func (s *Set) Members() []int {
+	out := make([]int, 0, len(s.index))
+	for n := s.head; n != nil; n = n.next {
+		out = append(out, n.val)
+	}
+	return out
+}
+
+// Sorted returns the members in ascending order.
+func (s *Set) Sorted() []int {
+	out := s.Members()
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns an independent copy of s. The copy cost is O(Len()),
+// matching the base-set copy bound used in the CREST complexity analysis.
+func (s *Set) Clone() *Set {
+	c := &Set{index: make(map[int]*node, len(s.index))}
+	for n := s.head; n != nil; n = n.next {
+		c.Add(n.val)
+	}
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same members, regardless
+// of insertion order.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for v := range s.index {
+		if !t.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string identifying the set contents (sorted,
+// comma-separated). Two sets have equal keys iff they are Equal. It is used
+// to de-duplicate RNN sets across regions in tests and post-processing.
+func (s *Set) Key() string {
+	vals := s.Sorted()
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer using sorted order for readability.
+func (s *Set) String() string {
+	return "{" + s.Key() + "}"
+}
+
+// Range calls f for each member in insertion order until f returns false.
+func (s *Set) Range(f func(v int) bool) {
+	for n := s.head; n != nil; n = n.next {
+		if !f(n.val) {
+			return
+		}
+	}
+}
+
+// FromSorted builds a set from an already de-duplicated slice. It is a
+// convenience for tests and decoding.
+func FromSorted(vals []int) *Set {
+	s := New()
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}

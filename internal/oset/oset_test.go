@@ -1,0 +1,213 @@
+package oset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatalf("new set should be empty")
+	}
+	if !s.Add(3) || !s.Add(1) || !s.Add(2) {
+		t.Fatalf("adding new members should report change")
+	}
+	if s.Add(3) {
+		t.Fatalf("adding existing member should not report change")
+	}
+	if s.Len() != 3 || !s.Contains(1) || !s.Contains(2) || !s.Contains(3) {
+		t.Fatalf("membership wrong after adds: %v", s)
+	}
+	if !s.Remove(1) {
+		t.Fatalf("removing member should report change")
+	}
+	if s.Remove(1) || s.Remove(99) {
+		t.Fatalf("removing non-member should not report change")
+	}
+	if s.Len() != 2 || s.Contains(1) {
+		t.Fatalf("membership wrong after removal: %v", s)
+	}
+}
+
+func TestMembersOrder(t *testing.T) {
+	s := New(5, 3, 9, 1)
+	if got := s.Members(); !reflect.DeepEqual(got, []int{5, 3, 9, 1}) {
+		t.Errorf("Members = %v, want insertion order", got)
+	}
+	if got := s.Sorted(); !reflect.DeepEqual(got, []int{1, 3, 5, 9}) {
+		t.Errorf("Sorted = %v", got)
+	}
+	s.Remove(3)
+	s.Add(3)
+	if got := s.Members(); !reflect.DeepEqual(got, []int{5, 9, 1, 3}) {
+		t.Errorf("Members after re-add = %v", got)
+	}
+}
+
+func TestRemoveEnds(t *testing.T) {
+	s := New(1, 2, 3)
+	s.Remove(1) // head
+	if got := s.Members(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("after head removal: %v", got)
+	}
+	s.Remove(3) // tail
+	if got := s.Members(); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("after tail removal: %v", got)
+	}
+	s.Remove(2) // only element
+	if s.Len() != 0 || len(s.Members()) != 0 {
+		t.Errorf("set should be empty, got %v", s.Members())
+	}
+	// Set remains usable after being emptied.
+	s.Add(7)
+	if got := s.Members(); !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("after re-add: %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(1, 2, 3)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatalf("clone should equal original")
+	}
+	c.Add(4)
+	c.Remove(1)
+	if s.Contains(4) || !s.Contains(1) {
+		t.Fatalf("mutating clone affected original")
+	}
+	if s.Equal(c) {
+		t.Fatalf("sets should now differ")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := New(3, 1, 2)
+	b := New(1, 2, 3)
+	c := New(1, 2)
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Errorf("order should not affect equality: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Errorf("different sets should not be equal")
+	}
+	if a.Key() != "1,2,3" {
+		t.Errorf("Key = %q", a.Key())
+	}
+	if a.String() != "{1,2,3}" {
+		t.Errorf("String = %q", a.String())
+	}
+	if New().Key() != "" || New().String() != "{}" {
+		t.Errorf("empty key/string wrong: %q %q", New().Key(), New().String())
+	}
+	if !New().Equal(New()) {
+		t.Errorf("empty sets should be equal")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(4, 5, 6)
+	var seen []int
+	s.Range(func(v int) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []int{4, 5, 6}) {
+		t.Errorf("Range order = %v", seen)
+	}
+	seen = nil
+	s.Range(func(v int) bool {
+		seen = append(seen, v)
+		return false
+	})
+	if len(seen) != 1 {
+		t.Errorf("Range should stop when f returns false, saw %v", seen)
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	s := FromSorted([]int{1, 5, 9})
+	if s.Len() != 3 || !s.Contains(5) {
+		t.Errorf("FromSorted wrong: %v", s)
+	}
+}
+
+// Property: a Set subjected to a random sequence of adds and removes always
+// matches a reference map implementation.
+func TestSetMatchesReferenceModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := New()
+		ref := map[int]bool{}
+		for _, op := range ops {
+			v := int(op) % 50
+			if v < 0 {
+				v = -v
+			}
+			if op%2 == 0 {
+				s.Add(v)
+				ref[v] = true
+			} else {
+				s.Remove(v)
+				delete(ref, v)
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		want := make([]int, 0, len(ref))
+		for v := range ref {
+			want = append(want, v)
+		}
+		sort.Ints(want)
+		return reflect.DeepEqual(s.Sorted(), want) || (len(want) == 0 && s.Len() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Clone must be O(n) and yield deep independence across many random mutations.
+func TestCloneStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Intn(200))
+	}
+	snap := s.Clone()
+	snapMembers := snap.Sorted()
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(2) == 0 {
+			s.Add(rng.Intn(200))
+		} else {
+			s.Remove(rng.Intn(200))
+		}
+	}
+	if !reflect.DeepEqual(snap.Sorted(), snapMembers) {
+		t.Fatalf("snapshot changed after mutations to original")
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 1024)
+		if i%3 == 0 {
+			s.Remove((i - 512) % 1024)
+		}
+	}
+}
+
+func BenchmarkClone64(b *testing.B) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}

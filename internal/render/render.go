@@ -1,0 +1,273 @@
+// Package render rasterizes RNN heat maps and writes them as PNG, PGM or
+// ASCII art. It is the plotting substrate for Fig. 1 and Fig. 15 of the
+// paper (the satellite backdrops are not reproduced; see DESIGN.md).
+//
+// Rasterization evaluates the influence of each pixel from the RNN sets
+// obtained through a point-enclosure index, which works for any influence
+// measure. For the plain size measure a faster superimposition mode is also
+// provided (Fig. 3(b)): it simply counts overlapping NN-circles per pixel.
+package render
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"rnnheatmap/internal/enclosure"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// Raster is a rectangular grid of heat values covering Bounds.
+type Raster struct {
+	Bounds        geom.Rect
+	Width, Height int
+	Values        []float64 // row-major, row 0 is the top (max Y)
+}
+
+// At returns the heat value of pixel (x, y).
+func (r *Raster) At(x, y int) float64 { return r.Values[y*r.Width+x] }
+
+// MinMax returns the smallest and largest heat values.
+func (r *Raster) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range r.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// Options configures rasterization.
+type Options struct {
+	// Width and Height are the raster dimensions in pixels. Zero values
+	// default to 512 wide with the height chosen to preserve aspect ratio.
+	Width, Height int
+	// Bounds is the region of space to rasterize; when empty it defaults to
+	// the bounding rectangle of the NN-circles.
+	Bounds geom.Rect
+	// Measure is the influence measure; nil means influence.Size().
+	Measure influence.Measure
+}
+
+func (o Options) normalize(defaultBounds geom.Rect) (Options, error) {
+	if o.Bounds.IsEmpty() || o.Bounds.Area() == 0 {
+		o.Bounds = defaultBounds
+	}
+	if o.Bounds.IsEmpty() || o.Bounds.Width() <= 0 || o.Bounds.Height() <= 0 {
+		return o, errors.New("render: empty raster bounds")
+	}
+	if o.Width <= 0 {
+		o.Width = 512
+	}
+	if o.Height <= 0 {
+		o.Height = int(float64(o.Width) * o.Bounds.Height() / o.Bounds.Width())
+		if o.Height < 1 {
+			o.Height = 1
+		}
+	}
+	if o.Measure == nil {
+		o.Measure = influence.Size()
+	}
+	return o, nil
+}
+
+// HeatMap rasterizes the influence of every pixel: the pixel center's RNN
+// set is retrieved through a point-enclosure index and fed to the measure.
+func HeatMap(circles []nncircle.NNCircle, opts Options) (*Raster, error) {
+	if len(circles) == 0 {
+		return nil, errors.New("render: no NN-circles")
+	}
+	bounds := geom.EmptyRect()
+	for _, nc := range circles {
+		bounds = bounds.Union(nc.Circle.BoundingRect())
+	}
+	opts, err := opts.normalize(bounds)
+	if err != nil {
+		return nil, err
+	}
+	ix := enclosure.NewRTreeIndex(nncircle.Circles(circles))
+	r := &Raster{Bounds: opts.Bounds, Width: opts.Width, Height: opts.Height,
+		Values: make([]float64, opts.Width*opts.Height)}
+	dx := opts.Bounds.Width() / float64(opts.Width)
+	dy := opts.Bounds.Height() / float64(opts.Height)
+	for py := 0; py < opts.Height; py++ {
+		// Row 0 is the top of the map.
+		y := opts.Bounds.MaxY - (float64(py)+0.5)*dy
+		for px := 0; px < opts.Width; px++ {
+			x := opts.Bounds.MinX + (float64(px)+0.5)*dx
+			set := oset.New()
+			for _, id := range ix.Enclosing(geom.Pt(x, y)) {
+				set.Add(circles[id].Client)
+			}
+			r.Values[py*opts.Width+px] = opts.Measure.Influence(set)
+		}
+	}
+	return r, nil
+}
+
+// Superimposition rasterizes the overlay of translucent NN-circles
+// (Fig. 3(b)): each pixel's value is the number of circles covering it. It
+// is equivalent to HeatMap with the size measure but does not need RNN sets,
+// and exists to demonstrate why superimposition cannot express generic
+// measures.
+func Superimposition(circles []nncircle.NNCircle, opts Options) (*Raster, error) {
+	opts.Measure = influence.Size()
+	return HeatMap(circles, opts)
+}
+
+// ColorMap maps a normalized heat value in [0, 1] to a color.
+type ColorMap func(v float64) color.RGBA
+
+// Grayscale maps low heat to white and high heat to black, matching the
+// paper's figures ("the darker regions indicate higher heat values").
+func Grayscale(v float64) color.RGBA {
+	g := uint8(255 * (1 - clamp01(v)))
+	return color.RGBA{R: g, G: g, B: g, A: 255}
+}
+
+// Inferno is a compact warm color ramp (black → red → yellow → white).
+func Inferno(v float64) color.RGBA {
+	v = clamp01(v)
+	switch {
+	case v < 0.25:
+		t := v / 0.25
+		return color.RGBA{R: uint8(80 * t), A: 255}
+	case v < 0.5:
+		t := (v - 0.25) / 0.25
+		return color.RGBA{R: uint8(80 + 150*t), G: uint8(30 * t), A: 255}
+	case v < 0.75:
+		t := (v - 0.5) / 0.25
+		return color.RGBA{R: uint8(230 + 25*t), G: uint8(30 + 150*t), B: uint8(20 * t), A: 255}
+	default:
+		t := (v - 0.75) / 0.25
+		return color.RGBA{R: 255, G: uint8(180 + 75*t), B: uint8(20 + 235*t), A: 255}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Image converts the raster into an image using the color map. Values are
+// normalized by the raster's min/max; a constant raster renders as blank.
+func (r *Raster) Image(cm ColorMap) *image.RGBA {
+	if cm == nil {
+		cm = Grayscale
+	}
+	lo, hi := r.MinMax()
+	span := hi - lo
+	img := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
+	for y := 0; y < r.Height; y++ {
+		for x := 0; x < r.Width; x++ {
+			v := 0.0
+			if span > 0 {
+				v = (r.At(x, y) - lo) / span
+			}
+			img.SetRGBA(x, y, cm(v))
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the raster as a PNG image.
+func (r *Raster) WritePNG(w io.Writer, cm ColorMap) error {
+	if err := png.Encode(w, r.Image(cm)); err != nil {
+		return fmt.Errorf("render: encoding png: %w", err)
+	}
+	return nil
+}
+
+// SavePNG writes the raster to a PNG file.
+func (r *Raster) SavePNG(path string, cm ColorMap) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	defer f.Close()
+	if err := r.WritePNG(f, cm); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WritePGM writes the raster as a plain-text PGM (P2) grayscale image, which
+// is convenient for golden-file tests and quick terminal inspection.
+func (r *Raster) WritePGM(w io.Writer) error {
+	lo, hi := r.MinMax()
+	span := hi - lo
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", r.Width, r.Height); err != nil {
+		return err
+	}
+	for y := 0; y < r.Height; y++ {
+		for x := 0; x < r.Width; x++ {
+			v := 0.0
+			if span > 0 {
+				v = (r.At(x, y) - lo) / span
+			}
+			if _, err := fmt.Fprintf(w, "%d ", int(255*v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCII renders the raster as a small ASCII-art heat map (darker characters
+// mean higher heat), resampling to at most the given number of columns.
+func (r *Raster) ASCII(cols int) string {
+	if cols <= 0 || cols > r.Width {
+		cols = r.Width
+	}
+	ramp := " .:-=+*#%@"
+	rows := cols * r.Height / r.Width
+	if rows < 1 {
+		rows = 1
+	}
+	// Terminal characters are roughly twice as tall as wide.
+	rows = rows / 2
+	if rows < 1 {
+		rows = 1
+	}
+	lo, hi := r.MinMax()
+	span := hi - lo
+	var b strings.Builder
+	for ry := 0; ry < rows; ry++ {
+		for rx := 0; rx < cols; rx++ {
+			x := rx * r.Width / cols
+			y := ry * r.Height / rows
+			v := 0.0
+			if span > 0 {
+				v = (r.At(x, y) - lo) / span
+			}
+			idx := int(v * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

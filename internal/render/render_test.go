@@ -1,0 +1,190 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+)
+
+func testCircles() []nncircle.NNCircle {
+	return []nncircle.NNCircle{
+		{Client: 0, Circle: geom.NewCircle(geom.Pt(2, 2), 2, geom.L2)},
+		{Client: 1, Circle: geom.NewCircle(geom.Pt(4, 2), 2, geom.L2)},
+		{Client: 2, Circle: geom.NewCircle(geom.Pt(10, 10), 1, geom.L2)},
+	}
+}
+
+func TestHeatMapBasics(t *testing.T) {
+	r, err := HeatMap(testCircles(), Options{Width: 64, Height: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 64 || r.Height != 64 || len(r.Values) != 64*64 {
+		t.Fatalf("raster dims wrong: %dx%d", r.Width, r.Height)
+	}
+	lo, hi := r.MinMax()
+	if lo != 0 || hi != 2 {
+		t.Errorf("MinMax = %g, %g; want 0, 2", lo, hi)
+	}
+}
+
+func TestHeatMapMatchesOracle(t *testing.T) {
+	circles := testCircles()
+	r, err := HeatMap(circles, Options{Width: 40, Height: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot check pixels against direct counting.
+	rng := rand.New(rand.NewSource(1))
+	dx := r.Bounds.Width() / float64(r.Width)
+	dy := r.Bounds.Height() / float64(r.Height)
+	for i := 0; i < 200; i++ {
+		px, py := rng.Intn(r.Width), rng.Intn(r.Height)
+		x := r.Bounds.MinX + (float64(px)+0.5)*dx
+		y := r.Bounds.MaxY - (float64(py)+0.5)*dy
+		count := 0.0
+		for _, nc := range circles {
+			if nc.Circle.Contains(geom.Pt(x, y)) {
+				count++
+			}
+		}
+		if r.At(px, py) != count {
+			t.Fatalf("pixel (%d,%d) = %g, want %g", px, py, r.At(px, py), count)
+		}
+	}
+}
+
+func TestHeatMapErrorsAndDefaults(t *testing.T) {
+	if _, err := HeatMap(nil, Options{}); err == nil {
+		t.Errorf("no circles should error")
+	}
+	r, err := HeatMap(testCircles(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 512 {
+		t.Errorf("default width = %d", r.Width)
+	}
+	// Custom bounds restrict the raster.
+	r2, err := HeatMap(testCircles(), Options{Width: 16, Height: 16,
+		Bounds: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Bounds.MaxX != 1 {
+		t.Errorf("bounds not honored: %v", r2.Bounds)
+	}
+}
+
+func TestHeatMapWithMeasure(t *testing.T) {
+	weights := []float64{10, 1, 1}
+	r, err := HeatMap(testCircles(), Options{Width: 32, Height: 32, Measure: influence.Weighted(weights)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi := r.MinMax()
+	if hi != 11 {
+		t.Errorf("weighted max = %g, want 11", hi)
+	}
+}
+
+func TestSuperimposition(t *testing.T) {
+	a, err := Superimposition(testCircles(), Options{Width: 32, Height: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HeatMap(testCircles(), Options{Width: 32, Height: 32, Measure: influence.Size()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("superimposition differs from size heat map at %d", i)
+		}
+	}
+}
+
+func TestColorMaps(t *testing.T) {
+	if Grayscale(0).R != 255 || Grayscale(1).R != 0 {
+		t.Errorf("grayscale endpoints wrong")
+	}
+	if Grayscale(-5) != Grayscale(0) || Grayscale(7) != Grayscale(1) {
+		t.Errorf("grayscale should clamp")
+	}
+	prev := -1
+	for _, v := range []float64{0, 0.3, 0.6, 0.9, 1} {
+		c := Inferno(v)
+		lum := int(c.R) + int(c.G) + int(c.B)
+		if lum < prev {
+			t.Errorf("inferno should get brighter with heat")
+		}
+		prev = lum
+	}
+}
+
+func TestImageAndPNG(t *testing.T) {
+	r, err := HeatMap(testCircles(), Options{Width: 20, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := r.Image(nil)
+	if img.Bounds().Dx() != 20 || img.Bounds().Dy() != 10 {
+		t.Errorf("image dims wrong")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePNG(&buf, Inferno); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("png round trip: %v", err)
+	}
+	if decoded.Bounds().Dx() != 20 {
+		t.Errorf("decoded width = %d", decoded.Bounds().Dx())
+	}
+	path := t.TempDir() + "/heat.png"
+	if err := r.SavePNG(path, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGMAndASCII(t *testing.T) {
+	r, err := HeatMap(testCircles(), Options{Width: 30, Height: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P2\n30 20\n255\n") {
+		t.Errorf("PGM header wrong: %q", buf.String()[:20])
+	}
+	art := r.ASCII(40)
+	if len(art) == 0 || !strings.Contains(art, "\n") {
+		t.Errorf("ASCII output empty")
+	}
+	// High-heat area (overlap of circles 0 and 1) should use a darker glyph
+	// than the empty corner.
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("too few ASCII rows: %d", len(lines))
+	}
+}
+
+func TestConstantRaster(t *testing.T) {
+	r := &Raster{Bounds: geom.Rect{MaxX: 1, MaxY: 1}, Width: 4, Height: 4, Values: make([]float64, 16)}
+	img := r.Image(Grayscale)
+	if img.RGBAAt(0, 0).R != 255 {
+		t.Errorf("constant raster should render blank (white)")
+	}
+	if s := r.ASCII(4); !strings.Contains(s, " ") {
+		t.Errorf("constant ASCII should be blank: %q", s)
+	}
+}

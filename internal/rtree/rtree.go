@@ -1,0 +1,442 @@
+// Package rtree implements an in-memory R-tree over two-dimensional
+// rectangles with quadratic-split insertion, STR (sort-tile-recursive) bulk
+// loading, range search, point-stabbing search and best-first k-nearest
+// neighbor search under any of the three metrics.
+//
+// The paper's baseline algorithm needs a point-enclosure index over
+// NN-circles (it uses an S-tree "although other spatial indexes such as the
+// R-tree may be used"); the NN-circle construction step needs nearest
+// neighbor queries against the facility set. This package provides both.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"rnnheatmap/internal/geom"
+)
+
+// defaultMaxEntries is the node fan-out. 16 balances depth against per-node
+// scan cost for data sets in the 10^4–10^6 range.
+const (
+	defaultMaxEntries = 16
+	defaultMinEntries = defaultMaxEntries * 2 / 5
+)
+
+// Item is an indexed element: a bounding rectangle plus an opaque integer
+// identifier chosen by the caller (typically the index of a client, facility
+// or NN-circle).
+type Item struct {
+	Rect geom.Rect
+	ID   int
+}
+
+// Tree is an R-tree. The zero value is an empty tree ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	leaf     bool
+	rect     geom.Rect
+	items    []Item  // leaf payload
+	children []*node // internal children
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the minimum bounding rectangle of all indexed items.
+func (t *Tree) Bounds() geom.Rect {
+	if t.root == nil {
+		return geom.EmptyRect()
+	}
+	return t.root.rect
+}
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(item Item) {
+	if item.Rect.IsEmpty() {
+		panic("rtree: cannot insert an empty rectangle")
+	}
+	if t.root == nil {
+		t.root = &node{leaf: true, rect: item.Rect, items: []Item{item}}
+		t.size = 1
+		return
+	}
+	t.size++
+	splitA, splitB := t.insert(t.root, item)
+	if splitB != nil {
+		t.root = &node{
+			leaf:     false,
+			rect:     splitA.rect.Union(splitB.rect),
+			children: []*node{splitA, splitB},
+		}
+	}
+}
+
+// insert places item under n, returning (n, nil) normally or the two halves
+// when n had to split.
+func (t *Tree) insert(n *node, item Item) (*node, *node) {
+	n.rect = n.rect.Union(item.Rect)
+	if n.leaf {
+		n.items = append(n.items, item)
+		if len(n.items) <= defaultMaxEntries {
+			return n, nil
+		}
+		return splitLeaf(n)
+	}
+	best := chooseSubtree(n.children, item.Rect)
+	childA, childB := t.insert(n.children[best], item)
+	if childB != nil {
+		n.children[best] = childA
+		n.children = append(n.children, childB)
+		if len(n.children) > defaultMaxEntries {
+			return splitInternal(n)
+		}
+	}
+	return n, nil
+}
+
+// chooseSubtree picks the child whose rectangle needs the least enlargement
+// to cover r, breaking ties by smaller area.
+func chooseSubtree(children []*node, r geom.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, c := range children {
+		enl := c.rect.Enlargement(r)
+		area := c.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitLeaf performs a quadratic split of an overfull leaf.
+func splitLeaf(n *node) (*node, *node) {
+	seedA, seedB := pickSeeds(len(n.items), func(i int) geom.Rect { return n.items[i].Rect })
+	a := &node{leaf: true, rect: n.items[seedA].Rect, items: []Item{n.items[seedA]}}
+	b := &node{leaf: true, rect: n.items[seedB].Rect, items: []Item{n.items[seedB]}}
+	for i, it := range n.items {
+		if i == seedA || i == seedB {
+			continue
+		}
+		assignLeaf(a, b, it, len(n.items)-i-1)
+	}
+	return a, b
+}
+
+func assignLeaf(a, b *node, it Item, remaining int) {
+	// Force balance when one side must take everything that remains.
+	if len(a.items)+remaining+1 <= defaultMinEntries {
+		a.items = append(a.items, it)
+		a.rect = a.rect.Union(it.Rect)
+		return
+	}
+	if len(b.items)+remaining+1 <= defaultMinEntries {
+		b.items = append(b.items, it)
+		b.rect = b.rect.Union(it.Rect)
+		return
+	}
+	if a.rect.Enlargement(it.Rect) <= b.rect.Enlargement(it.Rect) {
+		a.items = append(a.items, it)
+		a.rect = a.rect.Union(it.Rect)
+	} else {
+		b.items = append(b.items, it)
+		b.rect = b.rect.Union(it.Rect)
+	}
+}
+
+// splitInternal performs a quadratic split of an overfull internal node.
+func splitInternal(n *node) (*node, *node) {
+	seedA, seedB := pickSeeds(len(n.children), func(i int) geom.Rect { return n.children[i].rect })
+	a := &node{rect: n.children[seedA].rect, children: []*node{n.children[seedA]}}
+	b := &node{rect: n.children[seedB].rect, children: []*node{n.children[seedB]}}
+	for i, c := range n.children {
+		if i == seedA || i == seedB {
+			continue
+		}
+		if a.rect.Enlargement(c.rect) <= b.rect.Enlargement(c.rect) {
+			a.children = append(a.children, c)
+			a.rect = a.rect.Union(c.rect)
+		} else {
+			b.children = append(b.children, c)
+			b.rect = b.rect.Union(c.rect)
+		}
+	}
+	return a, b
+}
+
+// pickSeeds returns the pair of indexes whose combined rectangle wastes the
+// most area, the classic quadratic-split seed choice.
+func pickSeeds(n int, rect func(int) geom.Rect) (int, int) {
+	bestA, bestB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ri, rj := rect(i), rect(j)
+			waste := ri.Union(rj).Area() - ri.Area() - rj.Area()
+			if waste > worst {
+				worst, bestA, bestB = waste, i, j
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// BulkLoad builds a tree from items using sort-tile-recursive packing, which
+// produces a well-balanced tree much faster than repeated insertion.
+func BulkLoad(items []Item) *Tree {
+	t := &Tree{}
+	if len(items) == 0 {
+		return t
+	}
+	for _, it := range items {
+		if it.Rect.IsEmpty() {
+			panic("rtree: cannot bulk load an empty rectangle")
+		}
+	}
+	leaves := packLeaves(items)
+	t.size = len(items)
+	t.root = packUpward(leaves)
+	return t
+}
+
+func packLeaves(items []Item) []*node {
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
+	})
+	leafCount := (len(sorted) + defaultMaxEntries - 1) / defaultMaxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * defaultMaxEntries
+	var leaves []*node
+	for start := 0; start < len(sorted); start += sliceSize {
+		end := start + sliceSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		for ls := 0; ls < len(slice); ls += defaultMaxEntries {
+			le := ls + defaultMaxEntries
+			if le > len(slice) {
+				le = len(slice)
+			}
+			leaf := &node{leaf: true, rect: geom.EmptyRect()}
+			leaf.items = append(leaf.items, slice[ls:le]...)
+			for _, it := range leaf.items {
+				leaf.rect = leaf.rect.Union(it.Rect)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packUpward(nodes []*node) *node {
+	for len(nodes) > 1 {
+		var parents []*node
+		for start := 0; start < len(nodes); start += defaultMaxEntries {
+			end := start + defaultMaxEntries
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			p := &node{rect: geom.EmptyRect()}
+			p.children = append(p.children, nodes[start:end]...)
+			for _, c := range p.children {
+				p.rect = p.rect.Union(c.rect)
+			}
+			parents = append(parents, p)
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Search calls fn for every item whose rectangle intersects query. Iteration
+// stops early when fn returns false.
+func (t *Tree) Search(query geom.Rect, fn func(Item) bool) {
+	if t.root == nil || query.IsEmpty() {
+		return
+	}
+	searchNode(t.root, query, fn)
+}
+
+func searchNode(n *node, query geom.Rect, fn func(Item) bool) bool {
+	if !n.rect.Intersects(query) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.Rect.Intersects(query) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stab returns the IDs of all items whose rectangle contains p. It is the
+// point-enclosure query of the baseline algorithm.
+func (t *Tree) Stab(p geom.Point) []int {
+	var out []int
+	t.Search(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, func(it Item) bool {
+		if it.Rect.Contains(p) {
+			out = append(out, it.ID)
+		}
+		return true
+	})
+	return out
+}
+
+// Neighbor is one result of a k-nearest-neighbor query.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// knnEntry is a priority-queue element used by best-first NN search.
+type knnEntry struct {
+	dist float64
+	node *node
+	item Item
+	leaf bool
+}
+
+type knnQueue []knnEntry
+
+func (q knnQueue) Len() int            { return len(q) }
+func (q knnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnEntry)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// NearestNeighbors returns the k items nearest to p under metric m, ordered
+// by increasing distance. Distance to an item is the metric distance from p
+// to the item's rectangle center when the rectangle is degenerate (a point),
+// and the minimum distance to the rectangle otherwise.
+func (t *Tree) NearestNeighbors(k int, p geom.Point, m geom.Metric) []Neighbor {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	pq := &knnQueue{{dist: m.MinDistToRect(p, t.root.rect), node: t.root}}
+	heap.Init(pq)
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(knnEntry)
+		if e.leaf {
+			out = append(out, Neighbor{ID: e.item.ID, Dist: e.dist})
+			continue
+		}
+		n := e.node
+		if n.leaf {
+			for _, it := range n.items {
+				heap.Push(pq, knnEntry{dist: itemDist(p, it, m), item: it, leaf: true})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(pq, knnEntry{dist: m.MinDistToRect(p, c.rect), node: c})
+		}
+	}
+	return out
+}
+
+// Nearest returns the single nearest item to p under metric m and reports
+// whether the tree was non-empty.
+func (t *Tree) Nearest(p geom.Point, m geom.Metric) (Neighbor, bool) {
+	res := t.NearestNeighbors(1, p, m)
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// itemDist returns the query-to-item distance used by NearestNeighbors.
+func itemDist(p geom.Point, it Item, m geom.Metric) float64 {
+	if it.Rect.Width() == 0 && it.Rect.Height() == 0 {
+		return m.Distance(p, it.Rect.Center())
+	}
+	return m.MinDistToRect(p, it.Rect)
+}
+
+// Height returns the height of the tree (0 for an empty tree, 1 for a single
+// leaf). Exposed for tests and diagnostics.
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// checkInvariants verifies structural invariants and returns an error
+// describing the first violation. Used by tests.
+func (t *Tree) checkInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	count := 0
+	err := checkNode(t.root, &count)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return nil
+}
+
+func checkNode(n *node, count *int) error {
+	if n.leaf {
+		for _, it := range n.items {
+			*count++
+			if !n.rect.ContainsRect(it.Rect) {
+				return fmt.Errorf("leaf rect %v does not contain item %v", n.rect, it.Rect)
+			}
+		}
+		return nil
+	}
+	if len(n.children) == 0 {
+		return fmt.Errorf("internal node with no children")
+	}
+	for _, c := range n.children {
+		if !n.rect.ContainsRect(c.rect) {
+			return fmt.Errorf("node rect %v does not contain child %v", n.rect, c.rect)
+		}
+		if err := checkNode(c, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+)
+
+func pointItem(id int, x, y float64) Item {
+	return Item{ID: id, Rect: geom.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}}
+}
+
+func randomRectItems(rng *rand.Rand, n int, span float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		c := geom.Pt(rng.Float64()*span, rng.Float64()*span)
+		half := rng.Float64()*span/20 + 0.01
+		items[i] = Item{ID: i, Rect: geom.RectFromCenter(c, half)}
+	}
+	return items
+}
+
+func randomPointItems(rng *rand.Rand, n int, span float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = pointItem(i, rng.Float64()*span, rng.Float64()*span)
+	}
+	return items
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree Len/Height = %d/%d", tr.Len(), tr.Height())
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Errorf("empty tree bounds should be empty")
+	}
+	if got := tr.Stab(geom.Pt(0, 0)); len(got) != 0 {
+		t.Errorf("Stab on empty tree = %v", got)
+	}
+	if _, ok := tr.Nearest(geom.Pt(0, 0), geom.L2); ok {
+		t.Errorf("Nearest on empty tree should fail")
+	}
+	tr.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, func(Item) bool {
+		t.Errorf("Search on empty tree should not call fn")
+		return true
+	})
+	if BulkLoad(nil).Len() != 0 {
+		t.Errorf("BulkLoad(nil) should be empty")
+	}
+}
+
+func TestInsertPanicsOnEmptyRect(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("inserting an empty rect should panic")
+		}
+	}()
+	New().Insert(Item{Rect: geom.EmptyRect()})
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomRectItems(rng, 2000, 100)
+
+	build := map[string]*Tree{
+		"insert":   New(),
+		"bulkload": BulkLoad(items),
+	}
+	for _, it := range items {
+		build["insert"].Insert(it)
+	}
+	for name, tr := range build {
+		if tr.Len() != len(items) {
+			t.Fatalf("%s: Len = %d", name, tr.Len())
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s: invariant violation: %v", name, err)
+		}
+		for q := 0; q < 200; q++ {
+			query := geom.RectFromCenter(geom.Pt(rng.Float64()*100, rng.Float64()*100), rng.Float64()*10)
+			want := map[int]bool{}
+			for _, it := range items {
+				if it.Rect.Intersects(query) {
+					want[it.ID] = true
+				}
+			}
+			got := map[int]bool{}
+			tr.Search(query, func(it Item) bool {
+				got[it.ID] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %v returned %d items, want %d", name, query, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("%s: query %v missing item %d", name, query, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := BulkLoad(randomRectItems(rng, 500, 10))
+	calls := 0
+	tr.Search(tr.Bounds(), func(Item) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("early stop visited %d items, want 5", calls)
+	}
+}
+
+func TestStabMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomRectItems(rng, 1500, 50)
+	tr := BulkLoad(items)
+	for q := 0; q < 500; q++ {
+		p := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		want := map[int]bool{}
+		for _, it := range items {
+			if it.Rect.Contains(p) {
+				want[it.ID] = true
+			}
+		}
+		got := tr.Stab(p)
+		if len(got) != len(want) {
+			t.Fatalf("Stab(%v) = %d items, want %d", p, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("Stab(%v) returned wrong id %d", p, id)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomPointItems(rng, 1000, 100)
+	tr := BulkLoad(items)
+	metrics := []geom.Metric{geom.LInf, geom.L1, geom.L2}
+	for q := 0; q < 200; q++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		m := metrics[q%3]
+		k := 1 + rng.Intn(10)
+		got := tr.NearestNeighbors(k, p, m)
+		if len(got) != k {
+			t.Fatalf("kNN returned %d results, want %d", len(got), k)
+		}
+		// Brute force.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = m.Distance(p, it.Rect.Center())
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		for i, nb := range got {
+			if nb.Dist != dists[nb.ID] {
+				t.Fatalf("neighbor %d distance mismatch", i)
+			}
+			if nb.Dist > sorted[i]+1e-9 {
+				t.Fatalf("kNN %d-th distance %g exceeds brute force %g (metric %v)", i, nb.Dist, sorted[i], m)
+			}
+			if i > 0 && got[i-1].Dist > nb.Dist {
+				t.Fatalf("kNN results not sorted")
+			}
+		}
+	}
+}
+
+func TestNearestSingle(t *testing.T) {
+	tr := New()
+	tr.Insert(pointItem(7, 3, 3))
+	tr.Insert(pointItem(8, 10, 10))
+	nb, ok := tr.Nearest(geom.Pt(0, 0), geom.L2)
+	if !ok || nb.ID != 7 {
+		t.Errorf("Nearest = %+v, %v", nb, ok)
+	}
+	if got := tr.NearestNeighbors(0, geom.Pt(0, 0), geom.L2); got != nil {
+		t.Errorf("k=0 should return nil")
+	}
+	// k larger than the tree size returns everything.
+	if got := tr.NearestNeighbors(10, geom.Pt(0, 0), geom.L2); len(got) != 2 {
+		t.Errorf("k>size returned %d", len(got))
+	}
+}
+
+func TestInsertManyKeepsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New()
+	items := randomRectItems(rng, 5000, 1000)
+	for i, it := range items {
+		tr.Insert(it)
+		if i%997 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("tree of 5000 items should have height >= 2, got %d", tr.Height())
+	}
+}
+
+func TestBulkLoadDuplicatePoints(t *testing.T) {
+	// Many identical points must all be retrievable.
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = pointItem(i, 5, 5)
+	}
+	tr := BulkLoad(items)
+	if got := tr.Stab(geom.Pt(5, 5)); len(got) != 100 {
+		t.Errorf("Stab over duplicates = %d, want 100", len(got))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadPanicsOnEmptyRect(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bulk loading an empty rect should panic")
+		}
+	}()
+	BulkLoad([]Item{{Rect: geom.EmptyRect()}})
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	items := randomRectItems(rng, 10000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(items)
+	}
+}
+
+func BenchmarkStab(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tr := BulkLoad(randomRectItems(rng, 20000, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Stab(geom.Pt(rng.Float64()*1000, rng.Float64()*1000))
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	tr := BulkLoad(randomPointItems(rng, 20000, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), geom.L2)
+	}
+}
