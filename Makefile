@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test-short-race test bench-parallel
+
+# ci is the gate every change must pass: formatting, vet, build, the fast
+# suite under the race detector (the strip-parallel sweep is the main
+# concurrency surface), then the full suite.
+ci: fmt-check vet build test-short-race test
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test-short-race:
+	$(GO) test -short -race ./...
+
+test:
+	$(GO) test ./...
+
+# bench-parallel runs the sequential-vs-parallel CREST benchmark that tracks
+# the partition layer's speedup (see bench_test.go).
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkCRESTParallel -benchtime 2x .

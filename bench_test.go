@@ -7,6 +7,7 @@ package rnnheatmap
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"rnnheatmap/internal/core"
@@ -204,6 +205,33 @@ func BenchmarkFig19(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCRESTParallel measures the strip-parallel partition layer against
+// the sequential sweep on a 100k-circle uniform workload: workers=1 is
+// exactly the pre-partition CREST, workers=GOMAXPROCS is the full machine.
+// The intermediate counts expose the scaling curve (and, on a single-core
+// machine, the partition overhead).
+func BenchmarkCRESTParallel(b *testing.B) {
+	ncs := benchWorkload(b, "Uniform", 100000, 3000, geom.LInf)
+	counts := []int{1, 2, 4}
+	if maxW := runtime.GOMAXPROCS(0); maxW > 4 {
+		counts = append(counts, maxW)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := core.Options{Measure: influence.Size(), DiscardLabels: true, Workers: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.CREST(ncs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = res
+			}
+			b.ReportMetric(float64(benchSink.Stats.Labelings), "labelings")
+		})
 	}
 }
 

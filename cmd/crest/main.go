@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"rnnheatmap/heatmap"
@@ -36,6 +37,7 @@ func main() {
 		topK          = flag.Int("topk", 5, "print the top-k most influential regions")
 		ascii         = flag.Bool("ascii", false, "print an ASCII preview of the heat map")
 		seed          = flag.Int64("seed", 1, "random seed for sampling")
+		workers       = flag.Int("workers", 0, "parallel sweep strips (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -54,13 +56,22 @@ func main() {
 		Facilities: facilities,
 		Metric:     metric,
 		Algorithm:  heatmap.Algorithm(*algorithm),
+		Workers:    *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	stats := m.Stats()
-	fmt.Printf("clients=%d facilities=%d metric=%s algorithm=%s\n", len(clients), len(facilities), metric, *algorithm)
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if *algorithm == string(heatmap.AlgBaseline) {
+		effWorkers = 1 // the grid baseline always runs sequentially
+	}
+	fmt.Printf("clients=%d facilities=%d metric=%s algorithm=%s workers=%d\n",
+		len(clients), len(facilities), metric, *algorithm, effWorkers)
 	fmt.Printf("regions labeled: %d  events: %d  max RNN set size: %d  time: %v\n",
 		stats.Labelings, stats.Events, stats.MaxRNNSetSize, stats.Duration)
 

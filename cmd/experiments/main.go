@@ -1,7 +1,9 @@
 // Command experiments regenerates the paper's evaluation: the running-time
 // sweeps of Figures 16-19, the data set inventory of Table II and the
-// density-versus-influence contrast of Fig. 2. Each experiment prints a text
-// table; EXPERIMENTS.md records a full run next to the paper's numbers.
+// density-versus-influence contrast of Fig. 2 — plus a scaling sweep of the
+// strip-parallel CREST execution (-exp parallel), which is this
+// implementation's addition. Each experiment prints a text table;
+// EXPERIMENTS.md records a full run next to the paper's numbers.
 //
 // A full paper-scale run takes hours (the baseline and the Pruning
 // comparator are intentionally slow — that is the point of the comparison),
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"rnnheatmap/internal/experiment"
@@ -23,19 +26,24 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: fig2, table2, fig16, fig17, fig18, fig19 or all")
+		exp      = flag.String("exp", "all", "experiment to run: fig2, table2, fig16, fig17, fig18, fig19, parallel or all")
 		scale    = flag.String("scale", "quick", "quick (minutes) or paper (hours)")
 		datasets = flag.String("datasets", "", "comma separated data sets (default: LA,NYC,Uniform,Zipfian)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 1, "parallel sweep strips for the CREST runs of fig16-fig19 (0 = one per CPU; the parallel experiment sweeps this axis itself)")
 	)
 	flag.Parse()
 
-	cfg := experiment.SweepConfig{Seed: *seed}
+	cfg := experiment.SweepConfig{Seed: *seed, Workers: *workers}
+	if *workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
 	var ratioExps, sizeExps, l2Ratios, l2Sizes []int
+	var parallelN int
 	switch *scale {
 	case "paper":
 		ratioExps = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
@@ -44,6 +52,7 @@ func main() {
 		l2Sizes = []int{7, 8, 9, 10, 11, 12, 13}
 		cfg.BaselineLimit = 1 << 13
 		cfg.PruningBudget = 0
+		parallelN = 1 << 17
 	case "quick":
 		ratioExps = []int{1, 4, 7, 10}
 		sizeExps = []int{7, 9, 11, 13}
@@ -51,6 +60,7 @@ func main() {
 		l2Sizes = []int{7, 9, 11}
 		cfg.BaselineLimit = 1 << 10
 		cfg.PruningBudget = 50000
+		parallelN = 1 << 14
 	default:
 		log.Fatalf("unknown scale %q", *scale)
 	}
@@ -84,6 +94,7 @@ func main() {
 		{"fig17", func() ([]experiment.Row, error) { return experiment.Fig17(cfg, sizeExps) }},
 		{"fig18", func() ([]experiment.Row, error) { return experiment.Fig18(cfg, l2Ratios) }},
 		{"fig19", func() ([]experiment.Row, error) { return experiment.Fig19(cfg, l2Sizes) }},
+		{"parallel", func() ([]experiment.Row, error) { return experiment.ParallelSweep(cfg, nil, parallelN) }},
 	}
 	for _, s := range sweeps {
 		if !run(s.name) {

@@ -1,0 +1,3 @@
+module rnnheatmap
+
+go 1.24

@@ -109,6 +109,11 @@ type Config struct {
 	Measure Measure
 	// Algorithm selects the Region Coloring algorithm; empty means CREST.
 	Algorithm Algorithm
+	// Workers is the number of concurrent sweep strips the CREST algorithms
+	// use. Zero (the default) uses runtime.GOMAXPROCS(0); 1 forces the exact
+	// sequential sweep. The result is identical for every worker count; the
+	// baseline algorithm always runs sequentially.
+	Workers int
 }
 
 // Map is a computed RNN heat map.
@@ -154,7 +159,7 @@ func Build(cfg Config) (*Map, error) {
 	if measure == nil {
 		measure = Size()
 	}
-	opts := core.Options{Measure: measure}
+	opts := core.Options{Measure: measure, Workers: cfg.Workers}
 	var res *core.Result
 	switch cfg.Algorithm {
 	case "", AlgCREST:

@@ -144,7 +144,7 @@ func (t *Tree[V]) insert(n *node[V], key Key, val V) (Key, *node[V], bool) {
 	right.keys = append(right.keys, n.keys[midKeyIdx+1:]...)
 	right.children = append(right.children, n.children[midKeyIdx+1:]...)
 	n.keys = n.keys[:midKeyIdx:midKeyIdx]
-	n.children = n.children[:midKeyIdx+1 : midKeyIdx+1]
+	n.children = n.children[: midKeyIdx+1 : midKeyIdx+1]
 	return upKey, right, replaced
 }
 

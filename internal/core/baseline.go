@@ -75,7 +75,7 @@ func runBaseline(circles []nncircle.NNCircle, col *collector) {
 			for _, id := range ix.EnclosingStrict(cell.Center()) {
 				set.Add(circles[id].Client)
 			}
-			col.label(cell, set)
+			col.Label(cell, set)
 		}
 	}
 }

@@ -25,24 +25,26 @@ var ErrUnsupportedL2Ablation = errors.New("core: CREST-A is not defined for the 
 // directly; L1 inputs are rotated by π/4 into the equivalent L-infinity
 // instance (Section VII-B) and representative points are rotated back; L2
 // inputs are dispatched to CRESTL2 (Section VII-C).
+//
+// With Options.Workers > 1 the sweep is partitioned into vertical strips
+// executed concurrently (see partition.go); the result is identical to the
+// sequential sweep.
 func CREST(circles []nncircle.NNCircle, opts Options) (*Result, error) {
 	metric, usable, err := validateInput(circles)
 	if err != nil {
 		return nil, err
 	}
-	col := newCollector(opts)
+	var res *Result
 	switch metric {
 	case geom.LInf:
-		runCREST(usable, col, true)
+		res = runEngine(usable, opts, nil, true)
 	case geom.L1:
-		rotated := nncircle.RotateL1ToLInf(usable)
-		col.toOriginal = geom.RotateLInfToL1
-		runCREST(rotated, col, true)
+		res = runEngine(nncircle.RotateL1ToLInf(usable), opts, geom.RotateLInfToL1, true)
 	case geom.L2:
 		return CRESTL2(circles, opts)
 	}
-	finalizeStats(col, usable)
-	return col.finish(), nil
+	res.Stats.Circles = len(usable)
+	return res, nil
 }
 
 // CRESTA is the CREST-A ablation of the paper's experiments: the sweep with
@@ -54,38 +56,44 @@ func CRESTA(circles []nncircle.NNCircle, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	col := newCollector(opts)
+	var res *Result
 	switch metric {
 	case geom.LInf:
-		runCREST(usable, col, false)
+		res = runEngine(usable, opts, nil, false)
 	case geom.L1:
-		rotated := nncircle.RotateL1ToLInf(usable)
-		col.toOriginal = geom.RotateLInfToL1
-		runCREST(rotated, col, false)
+		res = runEngine(nncircle.RotateL1ToLInf(usable), opts, geom.RotateLInfToL1, false)
 	case geom.L2:
 		return nil, ErrUnsupportedL2Ablation
 	}
-	finalizeStats(col, usable)
-	return col.finish(), nil
+	res.Stats.Circles = len(usable)
+	return res, nil
 }
 
 func finalizeStats(col *collector, usable []nncircle.NNCircle) {
 	col.res.Stats.Circles = len(usable)
 }
 
-// runCREST executes the sweep over L-infinity circles. When changedIntervals
-// is true the full CREST optimization is used; otherwise every valid pair of
-// every status is labeled (CREST-A).
-func runCREST(circles []nncircle.NNCircle, col *collector, changedIntervals bool) {
+// runCREST executes the full sequential sweep over L-infinity circles. When
+// changedIntervals is true the full CREST optimization is used; otherwise
+// every valid pair of every status is labeled (CREST-A).
+func runCREST(circles []nncircle.NNCircle, sink Sink, changedIntervals bool) {
 	events := buildEvents(circles)
-	col.res.Stats.Events = len(events)
+	sink.AddEvents(len(events))
 	status := newLineStatus(circles)
-	// cache maps a side ID to the RNN set of the region immediately above
-	// that side, as of the last time a changed interval updated it. The
-	// paper indexes these records by key 2i−1 / 2i; side IDs serve the same
-	// purpose here.
 	cache := make(map[int64]*oset.Set)
+	sweepEvents(circles, events, status, cache, sink, changedIntervals, events[len(events)-1].x)
+}
 
+// sweepEvents advances the sweep over a contiguous run of events. status and
+// cache must describe the sweep line just before events[0]: empty for a full
+// sweep, warmed up with the straddling circles for a partition strip. cache
+// maps a side ID to the RNN set of the region immediately above that side,
+// as of the last time a changed interval updated it (the paper indexes these
+// records by key 2i−1 / 2i; side IDs serve the same purpose here). xAfter is
+// the x-coordinate bounding the final event's slab on the right: the x of
+// the event that follows this run, or the final event's own x when the run
+// ends the sweep (the status is then empty, so the slab width is irrelevant).
+func sweepEvents(circles []nncircle.NNCircle, events []event, status *lineStatus, cache map[int64]*oset.Set, sink Sink, changedIntervals bool, xAfter float64) {
 	for l, ev := range events {
 		var changed []interval
 		for _, ci := range ev.insert {
@@ -101,20 +109,19 @@ func runCREST(circles []nncircle.NNCircle, col *collector, changedIntervals bool
 			changed = append(changed, interval{lo: c.BottomY(), hi: c.TopY()})
 		}
 		// The slab labeled at this event lies between this event and the
-		// next one. After the final event the status is empty, so the slab
-		// width is irrelevant.
-		xNext := ev.x
+		// next one.
+		xNext := xAfter
 		if l+1 < len(events) {
 			xNext = events[l+1].x
 		}
 		slab := [2]float64{ev.x, xNext}
 
 		if !changedIntervals {
-			labelWholeStatus(status, col, slab)
+			labelWholeStatus(status, sink, slab)
 			continue
 		}
 		for _, iv := range mergeIntervals(changed) {
-			processInterval(status, cache, col, slab, iv)
+			processInterval(status, cache, sink, slab, iv)
 		}
 	}
 }
@@ -122,7 +129,7 @@ func runCREST(circles []nncircle.NNCircle, col *collector, changedIntervals bool
 // processInterval labels every valid pair of the current line status that
 // lies within the changed interval, reusing the cached base set of the
 // element immediately preceding the interval (Section V-C2).
-func processInterval(status *lineStatus, cache map[int64]*oset.Set, col *collector, slab [2]float64, iv interval) {
+func processInterval(status *lineStatus, cache map[int64]*oset.Set, sink Sink, slab [2]float64, iv interval) {
 	start := status.tree.Seek(key(iv.lo, negInfID))
 	if !start.Valid() || start.Key().Value > iv.hi {
 		return
@@ -151,7 +158,7 @@ func processInterval(status *lineStatus, cache map[int64]*oset.Set, col *collect
 		if next.Key().Value > cur.Key().Value {
 			// Valid pair entirely inside the changed interval: label it.
 			region := geom.Rect{MinX: slab[0], MinY: cur.Key().Value, MaxX: slab[1], MaxY: next.Key().Value}
-			col.label(region, base)
+			sink.Label(region, base)
 		}
 		cur = next
 	}
@@ -173,7 +180,7 @@ func recomputePrefix(status *lineStatus, upto bptree.Key) *oset.Set {
 
 // labelWholeStatus labels every valid pair of the current status, walking it
 // once from the bottom (Corollary 1). Used by CREST-A.
-func labelWholeStatus(status *lineStatus, col *collector, slab [2]float64) {
+func labelWholeStatus(status *lineStatus, sink Sink, slab [2]float64) {
 	set := oset.New()
 	it := status.tree.Min()
 	for it.Valid() {
@@ -184,7 +191,7 @@ func labelWholeStatus(status *lineStatus, col *collector, slab [2]float64) {
 		}
 		if next.Key().Value > it.Key().Value {
 			region := geom.Rect{MinX: slab[0], MinY: it.Key().Value, MaxX: slab[1], MaxY: next.Key().Value}
-			col.label(region, set)
+			sink.Label(region, set)
 		}
 		it = next
 	}

@@ -33,10 +33,9 @@ func CRESTL2(circles []nncircle.NNCircle, opts Options) (*Result, error) {
 	if metric != geom.L2 {
 		return nil, ErrNotL2
 	}
-	col := newCollector(opts)
-	runCRESTL2(usable, col)
-	finalizeStats(col, usable)
-	return col.finish(), nil
+	res := runL2Engine(usable, opts)
+	res.Stats.Circles = len(usable)
+	return res, nil
 }
 
 // ErrNotL2 is returned when CRESTL2 receives non-Euclidean circles.
@@ -65,11 +64,19 @@ type arcRef struct {
 	y      float64 // position at the slab midpoint
 }
 
-func runCRESTL2(circles []nncircle.NNCircle, col *collector) {
+// runCRESTL2 executes the full sequential L2 sweep.
+func runCRESTL2(circles []nncircle.NNCircle, sink Sink) {
 	events := buildL2Events(circles)
-	col.res.Stats.Events = len(events)
-	active := make(map[int]bool)
+	sink.AddEvents(len(events))
+	sweepL2Events(circles, events, make(map[int]bool), sink, events[len(events)-1].x)
+}
 
+// sweepL2Events advances the L2 sweep over a contiguous run of events.
+// active must hold the circles cut by a sweep line just before events[0]
+// (empty for a full sweep, the straddling circles for a partition strip);
+// xAfter bounds the final event's slab on the right, exactly as in
+// sweepEvents.
+func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int]bool, sink Sink, xAfter float64) {
 	for l, ev := range events {
 		for _, ci := range ev.insert {
 			active[ci] = true
@@ -77,10 +84,14 @@ func runCRESTL2(circles []nncircle.NNCircle, col *collector) {
 		for _, ci := range ev.remove {
 			delete(active, ci)
 		}
-		if l+1 >= len(events) || len(active) == 0 {
+		if len(active) == 0 {
 			continue
 		}
-		xLeft, xRight := ev.x, events[l+1].x
+		xLeft := ev.x
+		xRight := xAfter
+		if l+1 < len(events) {
+			xRight = events[l+1].x
+		}
 		if xRight <= xLeft {
 			continue
 		}
@@ -168,7 +179,7 @@ func runCRESTL2(circles []nncircle.NNCircle, col *collector) {
 				nxt := arcs[next]
 				if nxt.y > cur.y {
 					region := geom.Rect{MinX: xLeft, MinY: cur.y, MaxX: xRight, MaxY: nxt.y}
-					col.label(region, set)
+					sink.Label(region, set)
 				}
 				applyArc(circles, nxt, set)
 				next++

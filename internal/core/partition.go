@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sync"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// The partition layer: strip-parallel execution of the CREST sweeps.
+//
+// A left-to-right sweep touches each event exactly once, and the line status
+// at an event depends only on which circles straddle the sweep line there —
+// not on how the sweep arrived. The event sequence can therefore be split
+// into P contiguous x-ranges ("strips"), each swept by its own goroutine
+// after a warm-up that inserts the circles spanning the strip's left
+// boundary, the same grid-partitioning argument the capacity-constrained
+// predecessor work (Sun et al. [22]) relies on. Each strip emits into its
+// own Sink; the per-strip Results are merged deterministically (labels
+// concatenated in strip order, maxima and statistics reduced left to right),
+// so the output is identical to the sequential sweep for every worker count.
+
+// minStripEvents is the smallest number of events worth giving a strip its
+// own goroutine; below it the O(n) warm-up scan dominates the sweep itself.
+const minStripEvents = 64
+
+// span is one contiguous chunk of an event sequence together with the
+// x-coordinate bounding its last slab on the right (the x of the first
+// event of the next strip, or the final event's own x for the last strip).
+type span[E any] struct {
+	events []E
+	xAfter float64
+}
+
+// splitSpans partitions events into at most n near-equal contiguous chunks,
+// never creating chunks smaller than minStripEvents. xOf extracts an event's
+// x-coordinate.
+func splitSpans[E any](events []E, n int, xOf func(E) float64) []span[E] {
+	if limit := len(events) / minStripEvents; n > limit {
+		n = limit
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]span[E], 0, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + (len(events)-lo)/(n-i)
+		if hi == lo {
+			continue
+		}
+		xAfter := xOf(events[len(events)-1])
+		if hi < len(events) {
+			xAfter = xOf(events[hi])
+		}
+		out = append(out, span[E]{events: events[lo:hi], xAfter: xAfter})
+		lo = hi
+	}
+	return out
+}
+
+// runEngine executes the rectilinear sweep — CREST when changedIntervals is
+// set, CREST-A otherwise — over L-infinity circles, sequentially or
+// strip-parallel according to opts.Workers. toOriginal maps representative
+// points back to the original coordinate system (nil = identity; the L1
+// callers pass the inverse rotation).
+func runEngine(circles []nncircle.NNCircle, opts Options, toOriginal func(geom.Point) geom.Point, changedIntervals bool) *Result {
+	col := newCollector(opts)
+	if toOriginal != nil {
+		col.toOriginal = toOriginal
+	}
+	workers := opts.workerCount()
+	if workers <= 1 {
+		runCREST(circles, col, changedIntervals)
+		return col.finish()
+	}
+	strips := splitSpans(buildEvents(circles), workers, func(ev event) float64 { return ev.x })
+	parts := runStrips(strips, opts, toOriginal, func(st span[event], c *collector) {
+		status, cache := warmLineStatus(circles, st.events[0].x, changedIntervals)
+		c.AddEvents(len(st.events))
+		sweepEvents(circles, st.events, status, cache, c, changedIntervals, st.xAfter)
+	})
+	return mergeParts(col, parts)
+}
+
+// runL2Engine is the Euclidean counterpart of runEngine, partitioning the
+// CREST-L2 event sequence of crestl2.go.
+func runL2Engine(circles []nncircle.NNCircle, opts Options) *Result {
+	col := newCollector(opts)
+	workers := opts.workerCount()
+	if workers <= 1 {
+		runCRESTL2(circles, col)
+		return col.finish()
+	}
+	strips := splitSpans(buildL2Events(circles), workers, func(ev l2Event) float64 { return ev.x })
+	parts := runStrips(strips, opts, nil, func(st span[l2Event], c *collector) {
+		active := make(map[int]bool)
+		for _, ci := range nncircle.StraddlingX(circles, st.events[0].x) {
+			active[ci] = true
+		}
+		c.AddEvents(len(st.events))
+		sweepL2Events(circles, st.events, active, c, st.xAfter)
+	})
+	return mergeParts(col, parts)
+}
+
+// runStrips runs one goroutine per strip, each emitting into its own
+// collector, and returns the collectors in strip order.
+func runStrips[E any](strips []span[E], opts Options, toOriginal func(geom.Point) geom.Point, sweep func(span[E], *collector)) []*collector {
+	parts := make([]*collector, len(strips))
+	var wg sync.WaitGroup
+	for i, st := range strips {
+		c := newCollector(opts)
+		if toOriginal != nil {
+			c.toOriginal = toOriginal
+		}
+		parts[i] = c
+		wg.Add(1)
+		go func(st span[E], c *collector) {
+			defer wg.Done()
+			sweep(st, c)
+		}(st, c)
+	}
+	wg.Wait()
+	return parts
+}
+
+// warmLineStatus builds the line status of a sweep line positioned just
+// before x: every circle whose x-extent straddles x (inserted strictly
+// before x, not yet removed) is present. When withCache is set (the CREST
+// changed-interval path), the base-set cache is populated with one prefix
+// walk, so the strip's first changed intervals find the same records a full
+// sweep would have left behind (the cached sets equal the true prefix sets
+// whenever they are read — Section V-C2). CREST-A never reads the cache, so
+// its strips skip the clone-per-element cost.
+func warmLineStatus(circles []nncircle.NNCircle, x float64, withCache bool) (*lineStatus, map[int64]*oset.Set) {
+	status := newLineStatus(circles)
+	for _, ci := range nncircle.StraddlingX(circles, x) {
+		status.insertCircle(ci)
+	}
+	cache := make(map[int64]*oset.Set)
+	if withCache {
+		set := oset.New()
+		for it := status.tree.Min(); it.Valid(); it = it.Next() {
+			status.apply(it.Key().ID, set)
+			cache[it.Key().ID] = set.Clone()
+		}
+	}
+	return status, cache
+}
+
+// mergeParts folds the per-strip collectors, in strip order, into the outer
+// collector (which carries the run's start time) and finishes it. Labels are
+// concatenated in strip order — exactly the sequential emission order — and
+// the maximum keeps the first label attaining it, matching the sequential
+// tie-breaking.
+func mergeParts(into *collector, parts []*collector) *Result {
+	res := into.res
+	for _, p := range parts {
+		r := p.res
+		if !into.opts.DiscardLabels {
+			res.Labels = append(res.Labels, r.Labels...)
+		}
+		res.Stats.Events += r.Stats.Events
+		res.Stats.Labelings += r.Stats.Labelings
+		res.Stats.InfluenceCalls += r.Stats.InfluenceCalls
+		if r.Stats.MaxRNNSetSize > res.Stats.MaxRNNSetSize {
+			res.Stats.MaxRNNSetSize = r.Stats.MaxRNNSetSize
+		}
+		if r.MaxHeat > res.MaxHeat {
+			res.MaxHeat = r.MaxHeat
+			res.MaxLabel = r.MaxLabel
+		}
+	}
+	return into.finish()
+}

@@ -125,7 +125,7 @@ func (p *pruner) dfs(seed int, neighbors []int, depth int, in *oset.Set, inCircl
 		// other neighbor) exist in the arrangement?
 		if pt, ok := p.regionExists(inCircles); ok {
 			region := geom.Rect{MinX: pt.X, MinY: pt.Y, MaxX: pt.X, MaxY: pt.Y}
-			p.col.label(region, in)
+			p.col.Label(region, in)
 		}
 		return
 	}
@@ -207,6 +207,6 @@ func (p *pruner) resolveFromWitnesses() {
 			}
 		}
 		region := geom.Rect{MinX: pt.X, MinY: pt.Y, MaxX: pt.X, MaxY: pt.Y}
-		p.col.label(region, set)
+		p.col.Label(region, set)
 	}
 }

@@ -8,12 +8,19 @@
 // Result: a set of region labels, each carrying the RNN set of the region, a
 // representative interior point, and the heat value under a configurable
 // influence measure.
+//
+// The package is structured as engine + sink: the sweeps (crest.go,
+// crestl2.go) are pure control flow emitting labels into a Sink (sink.go),
+// and the partition layer (partition.go) runs the sweep as independent
+// vertical strips on Options.Workers goroutines, merging the per-strip
+// results into an output identical to the sequential sweep.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"rnnheatmap/internal/geom"
@@ -83,6 +90,12 @@ type Options struct {
 	// label and statistics are still produced. Use it for large benchmark
 	// runs where only timing and the maximum are needed.
 	DiscardLabels bool
+	// Workers is the number of concurrent sweep strips used by CREST,
+	// CREST-A and CREST-L2 (see partition.go). Zero or negative means
+	// runtime.GOMAXPROCS(0); 1 reproduces the exact sequential sweep. The
+	// comparison baselines (Baseline, PruningMax) always run sequentially.
+	// The results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) measure() influence.Measure {
@@ -90,6 +103,13 @@ func (o Options) measure() influence.Measure {
 		return influence.Size()
 	}
 	return o.Measure
+}
+
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Errors shared by the algorithms.
@@ -101,9 +121,11 @@ var (
 	ErrMixedMetrics = errors.New("core: NN-circles use mixed metrics")
 )
 
-// collector accumulates labels and statistics for a run. All algorithms in
-// the package funnel their labeling operations through it so counting and
-// max-tracking behave identically everywhere.
+// collector accumulates labels and statistics for a run; it is the canonical
+// Sink implementation. All algorithms in the package funnel their labeling
+// operations through it so counting and max-tracking behave identically
+// everywhere. A collector is not safe for concurrent use: the partition
+// layer gives every sweep strip its own collector and merges them.
 type collector struct {
 	opts    Options
 	measure influence.Measure
@@ -125,9 +147,9 @@ func newCollector(opts Options) *collector {
 	return c
 }
 
-// label records one region-labeling operation. rnn is snapshotted; callers
+// Label records one region-labeling operation. rnn is snapshotted; callers
 // may keep mutating it afterwards.
-func (c *collector) label(region geom.Rect, rnn *oset.Set) {
+func (c *collector) Label(region geom.Rect, rnn *oset.Set) {
 	c.res.Stats.Labelings++
 	c.res.Stats.InfluenceCalls++
 	heat := c.measure.Influence(rnn)
@@ -152,6 +174,9 @@ func (c *collector) label(region geom.Rect, rnn *oset.Set) {
 		c.res.MaxLabel = lbl
 	}
 }
+
+// AddEvents credits n sweep events to the statistics.
+func (c *collector) AddEvents(n int) { c.res.Stats.Events += n }
 
 // finish stamps the duration and returns the result.
 func (c *collector) finish() *Result {

@@ -14,6 +14,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -55,6 +56,10 @@ type SweepConfig struct {
 	// seed circle (0 = unlimited). The result stays exact; only the
 	// enumeration work is capped.
 	PruningBudget int
+	// Workers is the strip-parallelism of the CREST runs (core.Options.
+	// Workers). 0 defaults to 1 so the sweeps stay comparable with the
+	// strictly sequential baselines; ParallelSweep varies it explicitly.
+	Workers int
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -66,6 +71,9 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	}
 	if c.BaselineLimit == 0 {
 		c.BaselineLimit = 1 << 10
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -90,8 +98,8 @@ func workload(name string, nO, nF int, metric geom.Metric, seed int64) ([]nncirc
 }
 
 // runL1 measures one algorithm on an L1 workload.
-func runL1(alg string, ncs []nncircle.NNCircle) (*core.Result, error) {
-	opts := core.Options{Measure: influence.Size(), DiscardLabels: true}
+func runL1(alg string, ncs []nncircle.NNCircle, workers int) (*core.Result, error) {
+	opts := core.Options{Measure: influence.Size(), DiscardLabels: true, Workers: workers}
 	switch alg {
 	case "BA":
 		return core.Baseline(ncs, opts)
@@ -128,7 +136,7 @@ func Fig16(cfg SweepConfig, ratioExps []int) ([]Row, error) {
 				if alg == "BA" && nO > cfg.BaselineLimit {
 					continue
 				}
-				res, err := runL1(alg, ncs)
+				res, err := runL1(alg, ncs, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -163,7 +171,7 @@ func Fig17(cfg SweepConfig, sizeExps []int) ([]Row, error) {
 				if alg == "BA" && nO > cfg.BaselineLimit {
 					continue // the paper early-terminates BA beyond 2^13 (24 h)
 				}
-				res, err := runL1(alg, ncs)
+				res, err := runL1(alg, ncs, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -177,8 +185,8 @@ func Fig17(cfg SweepConfig, sizeExps []int) ([]Row, error) {
 // runL2Max measures one comparator for the maximum-influence task of the L2
 // experiments: CREST-L2 versus the Pruning algorithm, both evaluating the
 // capacity-constrained candidate gain min{c(p), |R(p)|}.
-func runL2Max(alg string, ncs []nncircle.NNCircle, pruningBudget int) (*core.Result, error) {
-	opts := core.Options{Measure: influence.Gain(8), DiscardLabels: true}
+func runL2Max(alg string, ncs []nncircle.NNCircle, pruningBudget, workers int) (*core.Result, error) {
+	opts := core.Options{Measure: influence.Gain(8), DiscardLabels: true, Workers: workers}
 	switch alg {
 	case "Pruning":
 		return core.PruningMax(ncs, opts, pruningBudget)
@@ -213,7 +221,7 @@ func Fig18(cfg SweepConfig, ratioExps []int) ([]Row, error) {
 				if alg == "Pruning" && nO > cfg.BaselineLimit {
 					continue
 				}
-				res, err := runL2Max(alg, ncs, cfg.PruningBudget)
+				res, err := runL2Max(alg, ncs, cfg.PruningBudget, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -248,7 +256,7 @@ func Fig19(cfg SweepConfig, sizeExps []int) ([]Row, error) {
 				if alg == "Pruning" && nO > cfg.BaselineLimit {
 					continue
 				}
-				res, err := runL2Max(alg, ncs, cfg.PruningBudget)
+				res, err := runL2Max(alg, ncs, cfg.PruningBudget, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -257,6 +265,60 @@ func Fig19(cfg SweepConfig, sizeExps []int) ([]Row, error) {
 		}
 	}
 	return rows, nil
+}
+
+// ParallelSweep measures the strip-parallel CREST execution: one workload
+// per data set, solved repeatedly with growing worker counts, so the speedup
+// of the partition layer over the sequential sweep (workers=1) lands in the
+// recorded benchmark trajectory alongside the paper's figures. The rows
+// also cross-check that every worker count reports the same maximum heat
+// and labeling count — the parallel sweep is exact, not approximate.
+func ParallelSweep(cfg SweepConfig, workerCounts []int, nO int) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = defaultWorkerCounts()
+	}
+	if nO == 0 {
+		nO = 1 << 14
+	}
+	nF := nO >> 5
+	if nF < 1 {
+		nF = 1
+	}
+	var rows []Row
+	for _, ds := range cfg.Datasets {
+		ncs, _, _, err := workload(ds, nO, nF, geom.L1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var base Row
+		for _, w := range workerCounts {
+			res, err := runL1("CREST", ncs, w)
+			if err != nil {
+				return nil, err
+			}
+			row := rowFrom("Parallel", ds, fmt.Sprintf("|O|=%d", nO), fmt.Sprintf("CREST(w=%d)", w), res)
+			if w == workerCounts[0] {
+				base = row
+			} else if row.Labelings != base.Labelings || row.MaxHeat != base.MaxHeat {
+				return nil, fmt.Errorf("experiment: workers=%d result diverged from workers=%d on %s (labelings %d vs %d, max %g vs %g)",
+					w, workerCounts[0], ds, row.Labelings, base.Labelings, row.MaxHeat, base.MaxHeat)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// defaultWorkerCounts doubles from 1 up to GOMAXPROCS (always including
+// both endpoints), the sweep axis of the parallel experiment.
+func defaultWorkerCounts() []int {
+	maxW := runtime.GOMAXPROCS(0)
+	var out []int
+	for w := 1; w < maxW; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, maxW)
 }
 
 func rowFrom(fig, ds, param, alg string, res *core.Result) Row {
@@ -390,7 +452,9 @@ func FormatTable(rows []Row) string {
 				continue
 			}
 			fmt.Fprintf(&b, " %16.2f", float64(r.Duration.Microseconds())/1000)
-			if a == "CREST" || a == "CREST-L2" {
+			// Keep the stats of the last CREST-family column (the paper's
+			// algorithm): CREST, CREST-L2 or a CREST(w=k) parallel run.
+			if strings.HasPrefix(a, "CREST") && a != "CREST-A" {
 				labelings, maxRNN = r.Labelings, r.MaxRNN
 			}
 		}

@@ -12,6 +12,9 @@ func quickCfg() SweepConfig {
 }
 
 func TestFig16Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
 	rows, err := Fig16(quickCfg(), []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +43,9 @@ func TestFig16Quick(t *testing.T) {
 }
 
 func TestFig17QuickIncludesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
 	cfg := quickCfg()
 	cfg.BaselineLimit = 1 << 8
 	rows, err := Fig17(cfg, []int{7, 8})
@@ -71,6 +77,9 @@ func TestFig17QuickIncludesBaseline(t *testing.T) {
 }
 
 func TestFig18And19Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
 	cfg := quickCfg()
 	cfg.BaselineLimit = 1 << 10
 	rows18, err := Fig18(cfg, []int{1})
@@ -104,6 +113,9 @@ func TestTable2(t *testing.T) {
 }
 
 func TestFig2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
 	res, err := Fig2(7)
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +131,9 @@ func TestFig2(t *testing.T) {
 }
 
 func TestFormatTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
 	rows, err := Fig16(quickCfg(), []int{1})
 	if err != nil {
 		t.Fatal(err)
@@ -137,5 +152,28 @@ func TestFormatTable(t *testing.T) {
 func TestWorkloadErrors(t *testing.T) {
 	if _, err := Fig16(SweepConfig{Datasets: []string{"mars"}}, []int{1}); err == nil {
 		t.Errorf("unknown data set should error")
+	}
+}
+
+func TestParallelSweep(t *testing.T) {
+	rows, err := ParallelSweep(quickCfg(), []int{1, 2}, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	if rows[0].Algorithm != "CREST(w=1)" || rows[1].Algorithm != "CREST(w=2)" {
+		t.Fatalf("algorithm labels: %q, %q", rows[0].Algorithm, rows[1].Algorithm)
+	}
+	// ParallelSweep itself verifies result equality across worker counts and
+	// errors out on divergence; here we check the rows carry measurements.
+	for _, r := range rows {
+		if r.Duration <= 0 || r.Labelings == 0 || r.Events == 0 {
+			t.Errorf("row not measured: %+v", r)
+		}
+	}
+	if rows[0].Labelings != rows[1].Labelings || rows[0].MaxHeat != rows[1].MaxHeat {
+		t.Errorf("worker counts disagree: %+v", rows)
 	}
 }

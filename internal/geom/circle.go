@@ -65,6 +65,15 @@ func (c Circle) RightX() float64  { return c.Center.X + c.Radius }
 func (c Circle) BottomY() float64 { return c.Center.Y - c.Radius }
 func (c Circle) TopY() float64    { return c.Center.Y + c.Radius }
 
+// StraddlesX reports whether the circle's x-extent straddles the vertical
+// line at x, half-open on the left: LeftX() < x ≤ RightX(). These are
+// exactly the circles a left-to-right sweep has inserted strictly before
+// reaching x and not yet removed, so a sweep strip resumed at x must warm
+// up with them.
+func (c Circle) StraddlesX(x float64) bool {
+	return c.LeftX() < x && x <= c.RightX()
+}
+
 // YAtX returns the lower and upper y-coordinates of the circle boundary at
 // vertical line x, and ok=false when the line does not cut the circle. For
 // square (L-infinity) and diamond (L1) circles the boundary is piecewise

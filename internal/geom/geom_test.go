@@ -497,3 +497,15 @@ func TestInvalidMetricPanics(t *testing.T) {
 		CircleIntersections(NewCircle(Pt(0, 0), 1, LInf), NewCircle(Pt(0, 0), 1, LInf))
 	})
 }
+
+func TestCircleStraddlesX(t *testing.T) {
+	c := NewCircle(Pt(5, 0), 2, LInf) // x-extent [3, 7]
+	// StraddlesX is half-open on the left: a sweep strip starting at the
+	// circle's LeftX inserts the circle itself, a strip starting at RightX
+	// must still see it (its removal event lies in that strip).
+	for x, want := range map[float64]bool{2: false, 3: false, 3.5: true, 7: true, 7.5: false} {
+		if got := c.StraddlesX(x); got != want {
+			t.Errorf("StraddlesX(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -113,6 +113,21 @@ func ComputeMono(points []geom.Point, m geom.Metric) ([]NNCircle, error) {
 	return out, nil
 }
 
+// StraddlingX returns the indexes (into ncs) of the circles whose x-extent
+// straddles the vertical line at x (geom.Circle.StraddlesX): inserted
+// strictly before a left-to-right sweep reaches x and not yet removed. The
+// partition layer of package core uses it to warm up the line status of a
+// sweep strip starting at x.
+func StraddlingX(ncs []NNCircle, x float64) []int {
+	var out []int
+	for i, nc := range ncs {
+		if nc.Circle.StraddlesX(x) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Circles extracts just the geometric circles, in the same order.
 func Circles(ncs []NNCircle) []geom.Circle {
 	out := make([]geom.Circle, len(ncs))

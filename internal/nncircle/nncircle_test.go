@@ -188,3 +188,25 @@ func BenchmarkCompute10kClients(b *testing.B) {
 		}
 	}
 }
+
+func TestStraddlingX(t *testing.T) {
+	ncs := []NNCircle{
+		{Client: 0, Circle: geom.NewCircle(geom.Pt(2, 0), 2, geom.LInf)}, // [0, 4]
+		{Client: 1, Circle: geom.NewCircle(geom.Pt(6, 0), 2, geom.LInf)}, // [4, 8]
+		{Client: 2, Circle: geom.NewCircle(geom.Pt(3, 0), 1, geom.L2)},   // [2, 4]
+	}
+	got := StraddlingX(ncs, 3)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("StraddlingX(3) = %v, want [0 2]", got)
+	}
+	// x = 4: circles 0 and 2 end exactly there (still straddling — their
+	// removal event belongs to the resumed sweep), circle 1 starts there
+	// (not straddling — its insertion event does too).
+	got = StraddlingX(ncs, 4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("StraddlingX(4) = %v, want [0 2]", got)
+	}
+	if got := StraddlingX(ncs, 9); got != nil {
+		t.Fatalf("StraddlingX(9) = %v, want none", got)
+	}
+}
