@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test-short-race test bench-parallel
+.PHONY: ci fmt-check vet build test-short-race test bench-parallel serve
 
 # ci is the gate every change must pass: formatting, vet, build, the fast
 # suite under the race detector (the strip-parallel sweep is the main
@@ -28,3 +28,8 @@ test:
 # the partition layer's speedup (see bench_test.go).
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkCRESTParallel -benchtime 2x .
+
+# serve starts heatmapd on a small seeded NYC workload; see the README's
+# endpoint reference for what to curl.
+serve:
+	$(GO) run ./cmd/heatmapd -dataset NYC -clients 5000 -facilities 1500 -addr :8080

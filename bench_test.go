@@ -261,8 +261,8 @@ func BenchmarkAblationLabeling(b *testing.B) {
 }
 
 // BenchmarkAblationEnclosureIndex compares the two point-enclosure index
-// implementations the baseline can use (R-tree vs stripe index), an
-// implementation choice DESIGN.md calls out.
+// implementations the baseline can use (R-tree vs stripe index); the paper
+// uses an S-tree but notes other spatial indexes work (Section IV).
 func BenchmarkAblationEnclosureIndex(b *testing.B) {
 	ncs := benchWorkload(b, "Uniform", 1<<11, 1<<5, geom.LInf)
 	opts := core.Options{Measure: influence.Size(), DiscardLabels: true}

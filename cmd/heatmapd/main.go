@@ -1,0 +1,238 @@
+// Command heatmapd is a long-running HTTP server over one RNN heat map: it
+// builds (or loads from CSV) the map once at startup, then serves raster
+// tiles, influence queries, top-k and threshold exploration, health and
+// stats until shut down. See internal/server for the endpoint reference.
+//
+// Examples:
+//
+//	heatmapd -dataset NYC -clients 5000 -facilities 1500 -metric l2 -addr :8080
+//	heatmapd -clients-csv o.csv -facilities-csv f.csv -measure capacity -cap 25
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/heat?x=-73.985\&y=40.755    # NYC is (lon, lat)
+//	curl -o tile.png localhost:8080/tiles/3/4/2.png
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rnnheatmap/heatmap"
+	"rnnheatmap/internal/dataset"
+	"rnnheatmap/internal/render"
+	"rnnheatmap/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatmapd: ")
+
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		dsName        = flag.String("dataset", "NYC", "built-in data set to sample from (NYC, LA, Uniform, Zipfian)")
+		clientsN      = flag.Int("clients", 2000, "number of clients to sample")
+		facilitiesN   = flag.Int("facilities", 600, "number of facilities to sample")
+		clientsCSV    = flag.String("clients-csv", "", "CSV file of client points (overrides -dataset)")
+		facilitiesCSV = flag.String("facilities-csv", "", "CSV file of facility points (overrides -dataset)")
+		metricName    = flag.String("metric", "l2", "distance metric: linf, l1 or l2")
+		measureName   = flag.String("measure", "size", "influence measure: size or capacity")
+		capPer        = flag.Float64("cap", 25, "per-facility capacity (capacity measure only)")
+		capNew        = flag.Float64("newcap", 25, "capacity of the hypothetical new facility (capacity measure only)")
+		workers       = flag.Int("workers", 0, "parallel sweep strips (0 = one per CPU, 1 = sequential)")
+		seed          = flag.Int64("seed", 1, "random seed for sampling")
+		tileSize      = flag.Int("tile-size", 256, "tile edge length in pixels")
+		tileCache     = flag.Int("tile-cache", 512, "LRU tile cache capacity (tiles)")
+		colorMapName  = flag.String("colormap", "gray", "tile color map: gray or inferno")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, dsName: *dsName, clientsN: *clientsN, facilitiesN: *facilitiesN,
+		clientsCSV: *clientsCSV, facilitiesCSV: *facilitiesCSV, metricName: *metricName,
+		measureName: *measureName, capPer: *capPer, capNew: *capNew,
+		workers: *workers, seed: *seed,
+		tileSize: *tileSize, tileCache: *tileCache, colorMapName: *colorMapName,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type config struct {
+	addr                      string
+	dsName                    string
+	clientsN, facilitiesN     int
+	clientsCSV, facilitiesCSV string
+	metricName, measureName   string
+	capPer, capNew            float64
+	workers                   int
+	seed                      int64
+	tileSize, tileCache       int
+	colorMapName              string
+}
+
+func run(cfg config) error {
+	metric, err := parseMetric(cfg.metricName)
+	if err != nil {
+		return err
+	}
+	cm, err := parseColorMap(cfg.colorMapName)
+	if err != nil {
+		return err
+	}
+	clients, facilities, err := loadPoints(cfg)
+	if err != nil {
+		return err
+	}
+	measure, err := buildMeasure(cfg, clients, facilities, metric)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("building heat map: %d clients, %d facilities, metric=%s measure=%s workers=%d",
+		len(clients), len(facilities), metric, measure.Name(), cfg.workers)
+	start := time.Now()
+	m, err := heatmap.Build(heatmap.Config{
+		Clients:    clients,
+		Facilities: facilities,
+		Metric:     metric,
+		Measure:    measure,
+		Workers:    cfg.workers,
+	})
+	if err != nil {
+		return err
+	}
+	maxHeat, _ := m.MaxHeat()
+	log.Printf("built in %v: %d regions, max heat %.2f, bounds %v",
+		time.Since(start).Round(time.Millisecond), m.NumRegions(), maxHeat, m.Bounds())
+
+	srv, err := server.New(server.Config{
+		Map:           m,
+		TileSize:      cfg.tileSize,
+		TileCacheSize: cfg.tileCache,
+		ColorMap:      cm,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           logRequests(srv),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (tiles %dpx, cache %d tiles)", cfg.addr, cfg.tileSize, cfg.tileCache)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// buildMeasure constructs the influence measure. The capacity-constrained
+// measure of Sun et al. [22] needs the current client -> nearest facility
+// assignment, computed here directly from the input points.
+func buildMeasure(cfg config, clients, facilities []heatmap.Point, metric heatmap.Metric) (heatmap.Measure, error) {
+	switch strings.ToLower(cfg.measureName) {
+	case "size", "":
+		return heatmap.Size(), nil
+	case "capacity":
+		if len(facilities) == 0 {
+			return nil, fmt.Errorf("the capacity measure needs a facility set")
+		}
+		assignment, err := heatmap.NearestAssignment(clients, facilities, metric)
+		if err != nil {
+			return nil, err
+		}
+		capacities := make([]float64, len(facilities))
+		for i := range capacities {
+			capacities[i] = cfg.capPer
+		}
+		return heatmap.Capacity(assignment, capacities, cfg.capNew), nil
+	default:
+		return nil, fmt.Errorf("unknown measure %q (want size or capacity)", cfg.measureName)
+	}
+}
+
+func parseMetric(name string) (heatmap.Metric, error) {
+	switch strings.ToLower(name) {
+	case "linf", "l∞", "chebyshev":
+		return heatmap.LInf, nil
+	case "l1", "manhattan":
+		return heatmap.L1, nil
+	case "l2", "euclidean":
+		return heatmap.L2, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want linf, l1 or l2)", name)
+	}
+}
+
+func parseColorMap(name string) (render.ColorMap, error) {
+	switch strings.ToLower(name) {
+	case "gray", "grey", "grayscale":
+		return render.Grayscale, nil
+	case "inferno":
+		return render.Inferno, nil
+	default:
+		return nil, fmt.Errorf("unknown color map %q (want gray or inferno)", name)
+	}
+}
+
+func loadPoints(cfg config) ([]heatmap.Point, []heatmap.Point, error) {
+	if cfg.clientsCSV != "" || cfg.facilitiesCSV != "" {
+		if cfg.clientsCSV == "" || cfg.facilitiesCSV == "" {
+			return nil, nil, fmt.Errorf("both -clients-csv and -facilities-csv are required when loading from CSV")
+		}
+		cd, err := dataset.LoadCSV("clients", cfg.clientsCSV)
+		if err != nil {
+			return nil, nil, err
+		}
+		fd, err := dataset.LoadCSV("facilities", cfg.facilitiesCSV)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cd.Points, fd.Points, nil
+	}
+	pool := (cfg.clientsN + cfg.facilitiesN) * 2
+	ds, err := dataset.ByName(cfg.dsName, pool, cfg.seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "available data sets:", strings.Join(dataset.Names(), ", "))
+		return nil, nil, err
+	}
+	clients, facilities := ds.SampleClientsFacilities(cfg.clientsN, cfg.facilitiesN, cfg.seed+1)
+	return clients, facilities, nil
+}
+
+// logRequests is a minimal access-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -25,10 +25,7 @@ func main() {
 		capacities[i] = 25
 	}
 
-	// The capacity measure needs to know which facility currently serves
-	// each client; build that assignment with a size-measure map first (its
-	// NN computation is exactly the assignment), then rebuild with the
-	// capacity measure.
+	// Build a plain size-measure map first for comparison.
 	base, err := heatmap.Build(heatmap.Config{
 		Clients:    clients,
 		Facilities: facilities,
@@ -39,16 +36,11 @@ func main() {
 	}
 	sizeMax, _ := base.MaxHeat()
 
-	// Derive the client -> nearest facility assignment.
-	assignment := make([]int, len(clients))
-	for i, c := range clients {
-		bestD := -1.0
-		for j, f := range facilities {
-			d := heatmap.L1.Distance(c, f)
-			if bestD < 0 || d < bestD {
-				bestD, assignment[i] = d, j
-			}
-		}
+	// The capacity measure needs to know which facility currently serves
+	// each client.
+	assignment, err := heatmap.NearestAssignment(clients, facilities, heatmap.L1)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	m, err := heatmap.Build(heatmap.Config{

@@ -22,6 +22,7 @@ package heatmap
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rnnheatmap/internal/core"
 	"rnnheatmap/internal/dataset"
@@ -39,6 +40,10 @@ type Point = geom.Point
 
 // Pt constructs a Point.
 func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Rect is an axis-aligned rectangle, used for viewports and sub-rectangle
+// rendering.
+type Rect = geom.Rect
 
 // Metric selects the distance metric.
 type Metric = geom.Metric
@@ -116,13 +121,20 @@ type Config struct {
 	Workers int
 }
 
-// Map is a computed RNN heat map.
+// Map is a computed RNN heat map. It is safe for concurrent reads (queries,
+// rendering, post-processing) once built; heatmapd serves every endpoint
+// from one shared Map.
 type Map struct {
 	cfg     Config
 	circles []nncircle.NNCircle
+	bounds  Rect
 	result  *core.Result
 	index   enclosure.Index
 	measure Measure
+
+	rendererOnce sync.Once
+	renderer     *render.Renderer
+	rendererErr  error
 }
 
 // Region is one labeled region of the heat map.
@@ -174,13 +186,35 @@ func Build(cfg Config) (*Map, error) {
 	if err != nil {
 		return nil, fmt.Errorf("heatmap: %w", err)
 	}
+	bounds := geom.EmptyRect()
+	for _, nc := range circles {
+		bounds = bounds.Union(nc.Circle.BoundingRect())
+	}
 	return &Map{
 		cfg:     cfg,
 		circles: circles,
+		bounds:  bounds,
 		result:  res,
 		index:   enclosure.NewRTreeIndex(nncircle.Circles(circles)),
 		measure: measure,
 	}, nil
+}
+
+// NearestAssignment returns, for each client, the index of its nearest
+// facility under the metric — the "current assignment" the
+// capacity-constrained measure consumes. It reuses the k-d tree NN-circle
+// construction Build performs, so it costs O(n log m) rather than the
+// brute-force O(n·m).
+func NearestAssignment(clients, facilities []Point, metric Metric) ([]int, error) {
+	circles, err := nncircle.Compute(clients, facilities, metric)
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: computing assignment: %w", err)
+	}
+	out := make([]int, len(circles))
+	for i, nc := range circles {
+		out[i] = nc.Facility
+	}
+	return out, nil
 }
 
 // Regions returns every labeled region.
@@ -211,6 +245,53 @@ func (m *Map) HeatAt(p Point) (float64, []int) {
 	return m.measure.Influence(set), set.Sorted()
 }
 
+// HeatAtBatch answers one HeatAt query per point, in input order. It backs
+// the server's POST /heat/batch endpoint: one enclosure batch per request
+// instead of one index walk per HTTP round trip.
+func (m *Map) HeatAtBatch(ps []Point) (heats []float64, rnns [][]int) {
+	heats = make([]float64, len(ps))
+	rnns = make([][]int, len(ps))
+	set := oset.New()
+	for i, ids := range m.index.EnclosingBatch(ps) {
+		set.Clear()
+		for _, id := range ids {
+			set.Add(m.circles[id].Client)
+		}
+		heats[i] = m.measure.Influence(set)
+		rnns[i] = set.Sorted()
+	}
+	return heats, rnns
+}
+
+// Bounds returns the bounding rectangle of the NN-circles, computed once at
+// Build time. Outside it every location has the empty-set heat, so it is
+// the natural full-map viewport for rendering and tiling.
+func (m *Map) Bounds() Rect { return m.bounds }
+
+// MeasureName returns the name of the influence measure the map was built
+// with (e.g. "size", "capacity"). Servers use it in cache keys and stats.
+func (m *Map) MeasureName() string { return m.measure.Name() }
+
+// Renderer returns a render.Renderer that shares the map's point-enclosure
+// index, for repeated sub-rectangle (tile) rendering. The renderer is built
+// on first use and cached; it is safe for concurrent use.
+func (m *Map) Renderer() (*render.Renderer, error) {
+	m.rendererOnce.Do(func() {
+		m.renderer, m.rendererErr = render.NewRenderer(m.circles, m.index, m.measure)
+	})
+	return m.renderer, m.rendererErr
+}
+
+// RasterizeRect renders the sub-rectangle bounds of the heat map at
+// width x height pixels using the map's influence measure.
+func (m *Map) RasterizeRect(bounds Rect, width, height int) (*render.Raster, error) {
+	rd, err := m.Renderer()
+	if err != nil {
+		return nil, err
+	}
+	return rd.Render(bounds, width, height)
+}
+
 // TopK returns the k hottest regions with distinct RNN sets, hottest first.
 func (m *Map) TopK(k int) []Region {
 	labels := postprocess.TopK(m.result.Labels, k, true)
@@ -234,10 +315,30 @@ func (m *Map) AboveThreshold(minHeat float64) []Region {
 // Stats exposes the work counters of the underlying Region Coloring run.
 func (m *Map) Stats() core.Stats { return m.result.Stats }
 
-// Rasterize renders the heat map into a width-pixel-wide raster using the
-// map's influence measure.
+// Summary describes the heat distribution over the labeled regions: region
+// and distinct-RNN-set counts, min/mean/max heat and the largest RNN set
+// size (the paper's λ).
+type Summary = postprocess.Summary
+
+// Summary computes distributional statistics over all labeled regions.
+func (m *Map) Summary() Summary { return postprocess.Summarize(m.result.Labels) }
+
+// HeatHistogram buckets the labeled regions' heat values into the given
+// number of equal-width bins between the minimum and maximum heat. It
+// returns the bin edges (length bins+1) and counts (length bins).
+func (m *Map) HeatHistogram(bins int) (edges []float64, counts []int) {
+	return postprocess.Histogram(m.result.Labels, bins)
+}
+
+// Rasterize renders the full heat map into a width-pixel-wide raster using
+// the map's influence measure and shared renderer (the enclosure index is
+// not rebuilt per call).
 func (m *Map) Rasterize(width int) (*render.Raster, error) {
-	return render.HeatMap(m.circles, render.Options{Width: width, Measure: m.measure})
+	rd, err := m.Renderer()
+	if err != nil {
+		return nil, err
+	}
+	return rd.RenderWidth(m.bounds, width)
 }
 
 // SavePNG renders the heat map to a grayscale PNG file (darker = hotter),

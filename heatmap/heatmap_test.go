@@ -234,3 +234,179 @@ func TestDatasetHelpers(t *testing.T) {
 		t.Errorf("city heat map max = %g", h)
 	}
 }
+
+func TestBoundsCoverEveryRegion(t *testing.T) {
+	m, err := Build(smallConfig(L2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Bounds()
+	if b.IsEmpty() || b.Width() <= 0 || b.Height() <= 0 {
+		t.Fatalf("Bounds = %v, want a non-degenerate rectangle", b)
+	}
+	for _, r := range m.Regions() {
+		if !b.Contains(r.Point) {
+			t.Errorf("region point %v outside Bounds %v", r.Point, b)
+		}
+	}
+	// Outside the bounds the heat is the empty-set heat.
+	heat, rnn := m.HeatAt(Pt(b.MaxX+1, b.MaxY+1))
+	if heat != 0 || len(rnn) != 0 {
+		t.Errorf("heat outside bounds = %v %v, want 0 and empty", heat, rnn)
+	}
+}
+
+func TestHeatAtBatchAgreesWithHeatAt(t *testing.T) {
+	m, err := Build(smallConfig(L2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b := m.Bounds()
+	ps := make([]Point, 100)
+	for i := range ps {
+		ps[i] = Pt(
+			b.MinX-1+rng.Float64()*(b.Width()+2),
+			b.MinY-1+rng.Float64()*(b.Height()+2),
+		)
+	}
+	heats, rnns := m.HeatAtBatch(ps)
+	if len(heats) != len(ps) || len(rnns) != len(ps) {
+		t.Fatalf("batch sizes = %d, %d; want %d", len(heats), len(rnns), len(ps))
+	}
+	for i, p := range ps {
+		wantHeat, wantRNN := m.HeatAt(p)
+		if heats[i] != wantHeat {
+			t.Errorf("point %v: batch heat %v, HeatAt %v", p, heats[i], wantHeat)
+		}
+		if !sort.IntsAreSorted(rnns[i]) {
+			t.Errorf("point %v: batch RNN %v not sorted", p, rnns[i])
+		}
+		if len(rnns[i]) != len(wantRNN) {
+			t.Errorf("point %v: batch RNN %v, HeatAt RNN %v", p, rnns[i], wantRNN)
+			continue
+		}
+		for j := range wantRNN {
+			if rnns[i][j] != wantRNN[j] {
+				t.Errorf("point %v: batch RNN %v, HeatAt RNN %v", p, rnns[i], wantRNN)
+				break
+			}
+		}
+	}
+}
+
+func TestRasterizeRectMatchesFullRasterize(t *testing.T) {
+	m, err := Build(smallConfig(LInf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Rasterize(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.RasterizeRect(full.Bounds, full.Width, full.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Values {
+		if full.Values[i] != sub.Values[i] {
+			t.Fatalf("pixel %d: RasterizeRect %g, Rasterize %g", i, sub.Values[i], full.Values[i])
+		}
+	}
+}
+
+func TestRendererIsSharedAndCounted(t *testing.T) {
+	m, err := Build(smallConfig(L2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd1, err := m.Renderer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd2, err := m.Renderer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd1 != rd2 {
+		t.Fatal("Renderer must return the same shared instance")
+	}
+	before := rd1.Calls()
+	if _, err := m.RasterizeRect(m.Bounds(), 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if rd1.Calls() != before+1 {
+		t.Fatalf("RasterizeRect did not go through the shared renderer")
+	}
+}
+
+func TestMeasureName(t *testing.T) {
+	m, err := Build(smallConfig(L2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MeasureName(); got != "size" {
+		t.Errorf("MeasureName = %q, want size", got)
+	}
+	cfg := smallConfig(L2)
+	cfg.Measure = Weighted([]float64{1, 2, 3, 4})
+	m, err = Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MeasureName(); got != "weighted" {
+		t.Errorf("MeasureName = %q, want weighted", got)
+	}
+}
+
+func TestSummaryAndHistogram(t *testing.T) {
+	m, err := Build(smallConfig(L2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.Count != m.NumRegions() {
+		t.Errorf("Summary.Count = %d, want %d regions", s.Count, m.NumRegions())
+	}
+	maxHeat, _ := m.MaxHeat()
+	if s.MaxHeat != maxHeat {
+		t.Errorf("Summary.MaxHeat = %v, want %v", s.MaxHeat, maxHeat)
+	}
+	edges, counts := m.HeatHistogram(4)
+	if len(edges) != 5 || len(counts) != 4 {
+		t.Fatalf("histogram shape = %d edges, %d counts; want 5 and 4", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != m.NumRegions() {
+		t.Errorf("histogram counts sum to %d, want %d", total, m.NumRegions())
+	}
+}
+
+func TestNearestAssignment(t *testing.T) {
+	cfg := smallConfig(L2)
+	got, err := NearestAssignment(cfg.Clients, cfg.Facilities, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfg.Clients) {
+		t.Fatalf("assignment length = %d, want %d", len(got), len(cfg.Clients))
+	}
+	for i, c := range cfg.Clients {
+		best, bestD := 0, L2.Distance(c, cfg.Facilities[0])
+		for j, f := range cfg.Facilities[1:] {
+			if d := L2.Distance(c, f); d < bestD {
+				bestD, best = d, j+1
+			}
+		}
+		if L2.Distance(c, cfg.Facilities[got[i]]) != bestD {
+			t.Errorf("client %d assigned facility %d (dist %v), nearest is %d (dist %v)",
+				i, got[i], L2.Distance(c, cfg.Facilities[got[i]]), best, bestD)
+		}
+	}
+	if _, err := NearestAssignment(cfg.Clients, nil, L2); err == nil {
+		t.Error("empty facility set should error")
+	}
+}

@@ -6,9 +6,10 @@
 // ones (Uniform and Zipfian with skew 0.2). The real POI files are not
 // redistributable, so this package substitutes seeded generators that
 // produce clustered, street-grid-aligned point sets of the same cardinality
-// and qualitative skew (dense cores, sparse water/edge areas); see DESIGN.md
-// for why this preserves the behavior the experiments measure. The synthetic
-// generators follow the paper directly.
+// and qualitative skew (dense cores, sparse water/edge areas), which
+// preserves the input properties the experiments measure — NN-circle radius
+// distribution and overlap density. The synthetic generators follow the
+// paper directly.
 package dataset
 
 import (

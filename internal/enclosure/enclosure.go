@@ -17,6 +17,7 @@ import (
 )
 
 // Index answers point-enclosure queries over a fixed set of circles.
+// Implementations are safe for concurrent queries after construction.
 type Index interface {
 	// Enclosing returns the indexes (into the original slice) of the circles
 	// that contain p, boundary included.
@@ -24,8 +25,25 @@ type Index interface {
 	// EnclosingStrict returns the indexes of the circles that contain p
 	// strictly in their interior.
 	EnclosingStrict(p geom.Point) []int
+	// EnclosingBatch answers one Enclosing query per point, returning the
+	// results in input order. Today every implementation simply loops over
+	// Enclosing; the method exists as the seam where a genuinely batched
+	// strategy (sorting queries, sharing traversal state) would slot in for
+	// the callers that issue many queries at once (server batch queries,
+	// per-tile rasterization).
+	EnclosingBatch(ps []geom.Point) [][]int
 	// Len returns the number of indexed circles.
 	Len() int
+}
+
+// batch answers a batch query with repeated single queries. The concrete
+// indexes use it when they have no cheaper batch strategy.
+func batch(ix Index, ps []geom.Point) [][]int {
+	out := make([][]int, len(ps))
+	for i, p := range ps {
+		out[i] = ix.Enclosing(p)
+	}
+	return out
 }
 
 // rtreeIndex is the default Index implementation: an R-tree over the circle
@@ -67,6 +85,8 @@ func (ix *rtreeIndex) EnclosingStrict(p geom.Point) []int {
 	sort.Ints(out)
 	return out
 }
+
+func (ix *rtreeIndex) EnclosingBatch(ps []geom.Point) [][]int { return batch(ix, ps) }
 
 // stripeIndex divides the x-axis into stripes bounded by the distinct
 // x-extremes of the circles; each stripe lists the circles whose horizontal
@@ -155,6 +175,8 @@ func (ix *stripeIndex) EnclosingStrict(p geom.Point) []int {
 	return out
 }
 
+func (ix *stripeIndex) EnclosingBatch(ps []geom.Point) [][]int { return batch(ix, ps) }
+
 // bruteIndex tests every circle. It exists as the correctness oracle for the
 // other implementations and for tiny inputs where index construction is not
 // worthwhile.
@@ -184,3 +206,5 @@ func (ix *bruteIndex) EnclosingStrict(p geom.Point) []int {
 	}
 	return out
 }
+
+func (ix *bruteIndex) EnclosingBatch(ps []geom.Point) [][]int { return batch(ix, ps) }

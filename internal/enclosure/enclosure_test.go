@@ -140,3 +140,23 @@ func BenchmarkStripeEnclosing(b *testing.B) {
 		ix.Enclosing(geom.Pt(rng.Float64()*1000, rng.Float64()*1000))
 	}
 }
+
+func TestEnclosingBatchAgreesWithSingleQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	circles := randomCircles(rng, 400, geom.L2, 100)
+	queries := make([]geom.Point, 300)
+	for i := range queries {
+		queries[i] = geom.Pt(rng.Float64()*110-5, rng.Float64()*110-5)
+	}
+	for _, ix := range []Index{NewBruteIndex(circles), NewRTreeIndex(circles), NewStripeIndex(circles)} {
+		got := ix.EnclosingBatch(queries)
+		if len(got) != len(queries) {
+			t.Fatalf("batch returned %d results, want %d", len(got), len(queries))
+		}
+		for i, p := range queries {
+			if want := ix.Enclosing(p); !sameIDs(got[i], want) {
+				t.Fatalf("batch[%d] = %v, want %v", i, got[i], want)
+			}
+		}
+	}
+}

@@ -85,6 +85,14 @@ func (s *Set) Remove(v int) bool {
 	return true
 }
 
+// Clear removes every member, retaining the index allocation so the set can
+// be reused across many queries (e.g. one per rasterized pixel) without
+// churning the allocator.
+func (s *Set) Clear() {
+	s.head, s.tail = nil, nil
+	clear(s.index)
+}
+
 // Members returns the members in insertion order. The returned slice is a
 // fresh copy safe to retain.
 func (s *Set) Members() []int {

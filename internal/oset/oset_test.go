@@ -211,3 +211,20 @@ func BenchmarkClone64(b *testing.B) {
 		_ = s.Clone()
 	}
 }
+
+func TestClear(t *testing.T) {
+	s := New(3, 1, 2)
+	s.Clear()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatalf("after Clear: Len=%d, want empty set", s.Len())
+	}
+	if got := s.Members(); len(got) != 0 {
+		t.Fatalf("Members after Clear = %v, want none", got)
+	}
+	// The cleared set is reusable and behaves like a fresh one.
+	s.Add(7)
+	s.Add(5)
+	if got := s.Sorted(); len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("Sorted after reuse = %v, want [5 7]", got)
+	}
+}

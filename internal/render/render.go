@@ -1,11 +1,18 @@
 // Package render rasterizes RNN heat maps and writes them as PNG, PGM or
 // ASCII art. It is the plotting substrate for Fig. 1 and Fig. 15 of the
-// paper (the satellite backdrops are not reproduced; see DESIGN.md).
+// paper (the satellite backdrops of those figures are not reproduced).
 //
 // Rasterization evaluates the influence of each pixel from the RNN sets
 // obtained through a point-enclosure index, which works for any influence
 // measure. For the plain size measure a faster superimposition mode is also
 // provided (Fig. 3(b)): it simply counts overlapping NN-circles per pixel.
+//
+// Two entry points share one pixel-evaluation path: HeatMap is the one-shot
+// API (build index, rasterize, done), while Renderer keeps the index and
+// renders arbitrary sub-rectangles repeatedly — the substrate for the tile
+// server in internal/server. Rasters normalize against their own min/max by
+// default; ImageScaled/WritePNGScaled accept a fixed range so independently
+// rendered tiles of one map shade consistently.
 package render
 
 import (
@@ -19,11 +26,9 @@ import (
 	"os"
 	"strings"
 
-	"rnnheatmap/internal/enclosure"
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
-	"rnnheatmap/internal/oset"
 )
 
 // Raster is a rectangular grid of heat values covering Bounds.
@@ -89,36 +94,18 @@ func (o Options) normalize(defaultBounds geom.Rect) (Options, error) {
 
 // HeatMap rasterizes the influence of every pixel: the pixel center's RNN
 // set is retrieved through a point-enclosure index and fed to the measure.
+// It is the one-shot entry point; callers that render many viewports of the
+// same map should build a Renderer once and call Render on it.
 func HeatMap(circles []nncircle.NNCircle, opts Options) (*Raster, error) {
-	if len(circles) == 0 {
-		return nil, errors.New("render: no NN-circles")
-	}
-	bounds := geom.EmptyRect()
-	for _, nc := range circles {
-		bounds = bounds.Union(nc.Circle.BoundingRect())
-	}
-	opts, err := opts.normalize(bounds)
+	rd, err := NewRenderer(circles, nil, opts.Measure)
 	if err != nil {
 		return nil, err
 	}
-	ix := enclosure.NewRTreeIndex(nncircle.Circles(circles))
-	r := &Raster{Bounds: opts.Bounds, Width: opts.Width, Height: opts.Height,
-		Values: make([]float64, opts.Width*opts.Height)}
-	dx := opts.Bounds.Width() / float64(opts.Width)
-	dy := opts.Bounds.Height() / float64(opts.Height)
-	for py := 0; py < opts.Height; py++ {
-		// Row 0 is the top of the map.
-		y := opts.Bounds.MaxY - (float64(py)+0.5)*dy
-		for px := 0; px < opts.Width; px++ {
-			x := opts.Bounds.MinX + (float64(px)+0.5)*dx
-			set := oset.New()
-			for _, id := range ix.Enclosing(geom.Pt(x, y)) {
-				set.Add(circles[id].Client)
-			}
-			r.Values[py*opts.Width+px] = opts.Measure.Influence(set)
-		}
+	opts, err = opts.normalize(rd.Bounds())
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return rd.Render(opts.Bounds, opts.Width, opts.Height)
 }
 
 // Superimposition rasterizes the overlay of translucent NN-circles
@@ -173,10 +160,18 @@ func clamp01(v float64) float64 {
 // Image converts the raster into an image using the color map. Values are
 // normalized by the raster's min/max; a constant raster renders as blank.
 func (r *Raster) Image(cm ColorMap) *image.RGBA {
+	lo, hi := r.MinMax()
+	return r.ImageScaled(cm, lo, hi)
+}
+
+// ImageScaled converts the raster into an image normalizing values against
+// the fixed range [lo, hi] instead of the raster's own min/max. Tile servers
+// use it with the map-wide heat range so that adjacent tiles — each covering
+// a sub-rectangle with a different local maximum — shade consistently.
+func (r *Raster) ImageScaled(cm ColorMap, lo, hi float64) *image.RGBA {
 	if cm == nil {
 		cm = Grayscale
 	}
-	lo, hi := r.MinMax()
 	span := hi - lo
 	img := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
 	for y := 0; y < r.Height; y++ {
@@ -194,6 +189,15 @@ func (r *Raster) Image(cm ColorMap) *image.RGBA {
 // WritePNG encodes the raster as a PNG image.
 func (r *Raster) WritePNG(w io.Writer, cm ColorMap) error {
 	if err := png.Encode(w, r.Image(cm)); err != nil {
+		return fmt.Errorf("render: encoding png: %w", err)
+	}
+	return nil
+}
+
+// WritePNGScaled encodes the raster as a PNG normalized against the fixed
+// range [lo, hi]; see ImageScaled.
+func (r *Raster) WritePNGScaled(w io.Writer, cm ColorMap, lo, hi float64) error {
+	if err := png.Encode(w, r.ImageScaled(cm, lo, hi)); err != nil {
 		return fmt.Errorf("render: encoding png: %w", err)
 	}
 	return nil

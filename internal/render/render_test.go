@@ -188,3 +188,112 @@ func TestConstantRaster(t *testing.T) {
 		t.Errorf("constant ASCII should be blank: %q", s)
 	}
 }
+
+func TestRendererSubRectMatchesFullRender(t *testing.T) {
+	circles := testCircles()
+	rd, err := NewRenderer(circles, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Render the full bounds at 64x64, then each quadrant at 32x32: the
+	// pixel-center grids coincide, so quadrant values must equal the
+	// corresponding sub-block of the full raster.
+	b := rd.Bounds()
+	full, err := rd.Render(b, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy := b.Center().X, b.Center().Y
+	quads := []struct {
+		rect   geom.Rect
+		ox, oy int // pixel offset of the quadrant inside the full raster
+	}{
+		{geom.Rect{MinX: b.MinX, MinY: cy, MaxX: cx, MaxY: b.MaxY}, 0, 0},
+		{geom.Rect{MinX: cx, MinY: cy, MaxX: b.MaxX, MaxY: b.MaxY}, 32, 0},
+		{geom.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: cx, MaxY: cy}, 0, 32},
+		{geom.Rect{MinX: cx, MinY: b.MinY, MaxX: b.MaxX, MaxY: cy}, 32, 32},
+	}
+	for qi, q := range quads {
+		tile, err := rd.Render(q.rect, 32, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				if got, want := tile.At(x, y), full.At(q.ox+x, q.oy+y); got != want {
+					t.Fatalf("quadrant %d pixel (%d,%d) = %g, want %g", qi, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRendererMatchesHeatMap(t *testing.T) {
+	circles := testCircles()
+	viaHeatMap, err := HeatMap(circles, Options{Width: 48, Height: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewRenderer(circles, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRenderer, err := rd.Render(rd.Bounds(), 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaHeatMap.Values {
+		if viaHeatMap.Values[i] != viaRenderer.Values[i] {
+			t.Fatalf("value %d differs: %g vs %g", i, viaHeatMap.Values[i], viaRenderer.Values[i])
+		}
+	}
+}
+
+func TestRendererCallCounterAndErrors(t *testing.T) {
+	rd, err := NewRenderer(testCircles(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Calls() != 0 {
+		t.Fatalf("fresh renderer has %d calls", rd.Calls())
+	}
+	if _, err := rd.Render(rd.Bounds(), 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Calls() != 1 {
+		t.Fatalf("Calls = %d, want 1", rd.Calls())
+	}
+	if _, err := rd.Render(geom.Rect{}, 8, 8); err == nil {
+		t.Error("empty bounds should error")
+	}
+	if _, err := rd.Render(rd.Bounds(), 0, 8); err == nil {
+		t.Error("zero width should error")
+	}
+	if rd.Calls() != 1 {
+		t.Fatalf("failed renders must not count: Calls = %d, want 1", rd.Calls())
+	}
+	if _, err := NewRenderer(nil, nil, nil); err == nil {
+		t.Error("no circles should error")
+	}
+}
+
+func TestImageScaledFixedRange(t *testing.T) {
+	r := &Raster{Bounds: geom.Rect{MaxX: 2, MaxY: 1}, Width: 2, Height: 1, Values: []float64{1, 1}}
+	// Against its own min/max the constant raster is blank (v = 0 everywhere);
+	// against a fixed [0, 2] range both pixels sit at half intensity.
+	img := r.ImageScaled(Grayscale, 0, 2)
+	if c := img.RGBAAt(0, 0); c.R != 127 && c.R != 128 {
+		t.Errorf("fixed-range pixel = %v, want mid gray", c)
+	}
+	blank := r.Image(Grayscale)
+	if c := blank.RGBAAt(0, 0); c.R != 255 {
+		t.Errorf("self-normalized constant raster pixel = %v, want white", c)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePNGScaled(&buf, nil, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatalf("WritePNGScaled produced an undecodable image: %v", err)
+	}
+}

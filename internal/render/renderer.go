@@ -1,0 +1,102 @@
+package render
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"rnnheatmap/internal/enclosure"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// Renderer rasterizes arbitrary sub-rectangles of one heat map against a
+// point-enclosure index that is built once and reused across calls. HeatMap
+// rebuilds the index per invocation, which is fine for a one-shot PNG dump
+// but not for a tile server answering many small viewport requests; a
+// Renderer amortizes the construction and is safe for concurrent use.
+type Renderer struct {
+	circles []nncircle.NNCircle
+	index   enclosure.Index
+	measure influence.Measure
+	bounds  geom.Rect
+	calls   atomic.Int64
+}
+
+// NewRenderer builds a Renderer over the NN-circles. index may be nil, in
+// which case the default R-tree enclosure index is constructed; passing a
+// prebuilt index (e.g. the one heatmap.Map already owns) shares it instead.
+// measure nil means influence.Size().
+func NewRenderer(circles []nncircle.NNCircle, index enclosure.Index, measure influence.Measure) (*Renderer, error) {
+	if len(circles) == 0 {
+		return nil, errors.New("render: no NN-circles")
+	}
+	if index == nil {
+		index = enclosure.NewRTreeIndex(nncircle.Circles(circles))
+	}
+	if measure == nil {
+		measure = influence.Size()
+	}
+	bounds := geom.EmptyRect()
+	for _, nc := range circles {
+		bounds = bounds.Union(nc.Circle.BoundingRect())
+	}
+	return &Renderer{circles: circles, index: index, measure: measure, bounds: bounds}, nil
+}
+
+// Bounds returns the bounding rectangle of the NN-circles — outside it every
+// pixel has an empty RNN set, so it is the natural full-map viewport.
+func (rd *Renderer) Bounds() geom.Rect { return rd.bounds }
+
+// Calls returns how many Render invocations have completed. Cache layers use
+// it to assert that warm requests do not re-render.
+func (rd *Renderer) Calls() int64 { return rd.calls.Load() }
+
+// RenderWidth renders bounds at the given pixel width with the height
+// chosen to preserve the aspect ratio, following the same sizing defaults
+// as HeatMap (width <= 0 means 512). Empty bounds mean the full map.
+func (rd *Renderer) RenderWidth(bounds geom.Rect, width int) (*Raster, error) {
+	opts, err := Options{Width: width, Bounds: bounds}.normalize(rd.bounds)
+	if err != nil {
+		return nil, err
+	}
+	return rd.Render(opts.Bounds, opts.Width, opts.Height)
+}
+
+// Render rasterizes the given sub-rectangle of the map at width x height
+// pixels. Each pixel's value is the influence of the pixel center's RNN set;
+// pixel centers follow the same half-pixel grid as HeatMap, so rendering the
+// full bounds reproduces HeatMap exactly. The raster depends only on the
+// circles and the measure — never on how the heat map was swept — so output
+// is deterministic across worker counts.
+func (rd *Renderer) Render(bounds geom.Rect, width, height int) (*Raster, error) {
+	if bounds.IsEmpty() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, errors.New("render: empty raster bounds")
+	}
+	if width <= 0 || height <= 0 {
+		return nil, errors.New("render: non-positive raster size")
+	}
+	r := &Raster{Bounds: bounds, Width: width, Height: height,
+		Values: make([]float64, width*height)}
+	dx := bounds.Width() / float64(width)
+	dy := bounds.Height() / float64(height)
+	centers := make([]geom.Point, width)
+	set := oset.New()
+	for py := 0; py < height; py++ {
+		// Row 0 is the top of the map.
+		y := bounds.MaxY - (float64(py)+0.5)*dy
+		for px := 0; px < width; px++ {
+			centers[px] = geom.Pt(bounds.MinX+(float64(px)+0.5)*dx, y)
+		}
+		for px, ids := range rd.index.EnclosingBatch(centers) {
+			set.Clear()
+			for _, id := range ids {
+				set.Add(rd.circles[id].Client)
+			}
+			r.Values[py*width+px] = rd.measure.Influence(set)
+		}
+	}
+	rd.calls.Add(1)
+	return r, nil
+}

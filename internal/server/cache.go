@@ -1,0 +1,113 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// tileCache is a fixed-capacity LRU cache of encoded tiles with
+// single-flight de-duplication: when several requests miss on the same key
+// concurrently, one renders and the rest wait for its result instead of
+// rendering the same tile in parallel.
+type tileCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flightCall
+
+	hits, misses, waited uint64
+}
+
+// tileData is one cached tile: the encoded PNG and its precomputed ETag,
+// so warm requests and 304 responses never re-hash the bytes.
+type tileData struct {
+	png  []byte
+	etag string
+}
+
+type cacheEntry struct {
+	key string
+	t   *tileData
+}
+
+type flightCall struct {
+	done chan struct{}
+	t    *tileData
+	err  error
+}
+
+func newTileCache(capacity int) *tileCache {
+	return &tileCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flightCall),
+	}
+}
+
+// get returns the cached tile for key, rendering it with render on a miss.
+// The second return reports whether the tile came from the cache (a wait on
+// another request's in-flight render counts as a cache hit: nothing was
+// rendered on behalf of this caller).
+func (c *tileCache) get(key string, render func() (*tileData, error)) (*tileData, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		t := el.Value.(*cacheEntry).t
+		c.mu.Unlock()
+		return t, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.waited++
+		c.mu.Unlock()
+		<-call.done
+		return call.t, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	// A panicking render must still release the waiters and clear the
+	// in-flight entry, or the key is wedged until restart; surface it as an
+	// error instead.
+	call.t, call.err = func() (t *tileData, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("render panicked: %v", r)
+			}
+		}()
+		return render()
+	}()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, t: call.t})
+		for c.ll.Len() > c.capacity {
+			last := c.ll.Back()
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return call.t, false, call.err
+}
+
+// stats returns the hit/miss/waited counters.
+func (c *tileCache) stats() (hits, misses, waited uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.waited
+}
+
+// len returns the number of cached tiles.
+func (c *tileCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

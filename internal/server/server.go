@@ -1,0 +1,486 @@
+// Package server implements heatmapd's HTTP layer: a long-running service
+// that owns one computed heatmap.Map and serves it to many readers. One
+// expensive Build is amortized across arbitrarily many cheap requests —
+// slippy-map raster tiles (GET /tiles/{z}/{x}/{y}.png), point and batched
+// influence queries (GET /heat, POST /heat/batch), region exploration
+// (GET /topk, GET /regions) and operational introspection (GET /healthz,
+// GET /stats).
+//
+// Tiles are rendered through the map's shared render.Renderer (the
+// point-enclosure index is built once), normalized against the map-wide heat
+// range so adjacent tiles shade consistently, and cached in a fixed-size LRU
+// with single-flight de-duplication: concurrent requests for the same cold
+// tile trigger exactly one render. Tile bytes depend only on the NN-circles
+// and the influence measure, so responses are byte-identical regardless of
+// how many workers swept the map.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rnnheatmap/heatmap"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/render"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Map is the heat map to serve. Required.
+	Map *heatmap.Map
+	// TileSize is the tile edge length in pixels; 0 means 256.
+	TileSize int
+	// TileCacheSize is the LRU capacity in tiles; 0 means 512.
+	TileCacheSize int
+	// ColorMap renders tiles; nil means render.Grayscale (darker = hotter,
+	// as in the paper's figures).
+	ColorMap render.ColorMap
+	// MaxBatch caps the number of points accepted by POST /heat/batch;
+	// 0 means 10000.
+	MaxBatch int
+	// MaxRegions caps the number of regions returned by GET /regions and
+	// GET /topk; 0 means 10000.
+	MaxRegions int
+}
+
+// Server serves one heat map over HTTP. It is an http.Handler; all state is
+// read-only after New except the tile cache and counters, so it is safe for
+// concurrent use.
+type Server struct {
+	m        *heatmap.Map
+	rd       *render.Renderer
+	grid     grid
+	tileSize int
+	cm       render.ColorMap
+	// heatLo and heatHi are the map-wide heat range used to normalize every
+	// tile, so a region renders the same shade on whichever tile it lands.
+	heatLo, heatHi float64
+	// summary is the heat distribution over the labeled regions, immutable
+	// after Build and therefore computed once rather than per /stats poll.
+	summary    heatmap.Summary
+	maxBatch   int
+	maxRegions int
+	cache      *tileCache
+	mux        *http.ServeMux
+	started    time.Time
+}
+
+// New builds a Server for the given configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Map == nil {
+		return nil, errors.New("server: Config.Map is required")
+	}
+	rd, err := cfg.Map.Renderer()
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if cfg.TileSize == 0 {
+		cfg.TileSize = 256
+	}
+	if cfg.TileSize < 1 || cfg.TileSize > 4096 {
+		return nil, fmt.Errorf("server: tile size %d out of range [1, 4096]", cfg.TileSize)
+	}
+	if cfg.TileCacheSize <= 0 {
+		cfg.TileCacheSize = 512
+	}
+	if cfg.ColorMap == nil {
+		cfg.ColorMap = render.Grayscale
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 10000
+	}
+	if cfg.MaxRegions <= 0 {
+		cfg.MaxRegions = 10000
+	}
+	s := &Server{
+		m:          cfg.Map,
+		rd:         rd,
+		grid:       newGrid(rd.Bounds()),
+		tileSize:   cfg.TileSize,
+		cm:         cfg.ColorMap,
+		maxBatch:   cfg.MaxBatch,
+		maxRegions: cfg.MaxRegions,
+		cache:      newTileCache(cfg.TileCacheSize),
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+	}
+	s.summary = cfg.Map.Summary()
+	s.heatLo, s.heatHi = heatRange(cfg.Map, s.summary)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /heat", s.handleHeat)
+	s.mux.HandleFunc("POST /heat/batch", s.handleHeatBatch)
+	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /regions", s.handleRegions)
+	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
+	s.mux.HandleFunc("GET /tiles/{z}/{x}/{y}", s.handleTile)
+	return s, nil
+}
+
+// heatRange returns the fixed normalization range for tiles: from the
+// smaller of the empty-set heat and the coolest region to the map maximum.
+// For the size measure this is simply [0, max], but signed measures (e.g.
+// capacity gain) can dip below the empty-set value.
+func heatRange(m *heatmap.Map, sum heatmap.Summary) (lo, hi float64) {
+	outside := m.Bounds().Expand(1).Corners()
+	lo, _ = m.HeatAt(outside[0]) // empty RNN set
+	hi = lo
+	if sum.Count > 0 {
+		lo = math.Min(lo, sum.MinHeat)
+		hi = math.Max(hi, sum.MaxHeat)
+	}
+	return lo, hi
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Bounds returns the data bounds of the served map.
+func (s *Server) Bounds() heatmap.Rect { return s.rd.Bounds() }
+
+// RenderCalls returns how many tile renders have actually executed; warm
+// cache hits do not increment it. Exposed for tests and /stats.
+func (s *Server) RenderCalls() int64 { return s.rd.Calls() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseFloat parses a finite float query parameter.
+func parseFloat(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("query parameter %q is not a finite number: %q", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"regions": s.m.NumRegions(),
+	})
+}
+
+// statsResponse is the GET /stats payload.
+type statsResponse struct {
+	Measure       string      `json:"measure"`
+	Regions       int         `json:"regions"`
+	MaxHeat       float64     `json:"max_heat"`
+	Bounds        rectJSON    `json:"bounds"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Build         buildStats  `json:"build"`
+	Heat          heatSummary `json:"heat"`
+	Tiles         tileStats   `json:"tiles"`
+}
+
+// heatSummary is the heat distribution over the labeled regions.
+type heatSummary struct {
+	DistinctSets  int     `json:"distinct_sets"`
+	MinHeat       float64 `json:"min_heat"`
+	MeanHeat      float64 `json:"mean_heat"`
+	MaxHeat       float64 `json:"max_heat"`
+	MaxRNNSetSize int     `json:"max_rnn_set_size"`
+}
+
+// buildStats mirrors the core.Stats counters of the Region Coloring run.
+type buildStats struct {
+	Circles        int     `json:"circles"`
+	Events         int     `json:"events"`
+	Labelings      int     `json:"labelings"`
+	InfluenceCalls int     `json:"influence_calls"`
+	MaxRNNSetSize  int     `json:"max_rnn_set_size"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
+type tileStats struct {
+	Size        int    `json:"size_px"`
+	Cached      int    `json:"cached"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	Renders     int64  `json:"renders"`
+}
+
+type rectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+func toRectJSON(r geom.Rect) rectJSON {
+	return rectJSON{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.m.Stats()
+	maxHeat, _ := s.m.MaxHeat()
+	sum := s.summary
+	hits, misses, waited := s.cache.stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Measure:       s.m.MeasureName(),
+		Regions:       s.m.NumRegions(),
+		MaxHeat:       maxHeat,
+		Bounds:        toRectJSON(s.rd.Bounds()),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build: buildStats{
+			Circles:        cs.Circles,
+			Events:         cs.Events,
+			Labelings:      cs.Labelings,
+			InfluenceCalls: cs.InfluenceCalls,
+			MaxRNNSetSize:  cs.MaxRNNSetSize,
+			DurationMS:     float64(cs.Duration) / float64(time.Millisecond),
+		},
+		Heat: heatSummary{
+			DistinctSets:  sum.DistinctSets,
+			MinHeat:       sum.MinHeat,
+			MeanHeat:      sum.MeanHeat,
+			MaxHeat:       sum.MaxHeat,
+			MaxRNNSetSize: sum.MaxRNNSize,
+		},
+		Tiles: tileStats{
+			Size:        s.tileSize,
+			Cached:      s.cache.len(),
+			CacheHits:   hits,
+			CacheMisses: misses,
+			Coalesced:   waited,
+			Renders:     s.rd.Calls(),
+		},
+	})
+}
+
+// heatResponse is one influence query result.
+type heatResponse struct {
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Heat float64 `json:"heat"`
+	RNN  []int   `json:"rnn"`
+}
+
+func nonNil(rnn []int) []int {
+	if rnn == nil {
+		return []int{}
+	}
+	return rnn
+}
+
+func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
+	x, err := parseFloat(r, "x")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	y, err := parseFloat(r, "y")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	heat, rnn := s.m.HeatAt(heatmap.Pt(x, y))
+	writeJSON(w, http.StatusOK, heatResponse{X: x, Y: y, Heat: heat, RNN: nonNil(rnn)})
+}
+
+// batchRequest is the POST /heat/batch payload.
+type batchRequest struct {
+	Points []struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	} `json:"points"`
+}
+
+func (s *Server) handleHeatBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no points")
+		return
+	}
+	if len(req.Points) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d points exceeds the limit of %d", len(req.Points), s.maxBatch)
+		return
+	}
+	ps := make([]heatmap.Point, len(req.Points))
+	for i, p := range req.Points {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			writeError(w, http.StatusBadRequest, "point %d is not finite", i)
+			return
+		}
+		ps[i] = heatmap.Pt(p.X, p.Y)
+	}
+	heats, rnns := s.m.HeatAtBatch(ps)
+	results := make([]heatResponse, len(ps))
+	for i := range ps {
+		results[i] = heatResponse{X: ps[i].X, Y: ps[i].Y, Heat: heats[i], RNN: nonNil(rnns[i])}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// regionJSON is one labeled region in an API response.
+type regionJSON struct {
+	Heat  float64   `json:"heat"`
+	Point pointJSON `json:"point"`
+	RNN   []int     `json:"rnn"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+func toRegionJSON(rs []heatmap.Region) []regionJSON {
+	out := make([]regionJSON, len(rs))
+	for i, r := range rs {
+		out[i] = regionJSON{
+			Heat:  r.Heat,
+			Point: pointJSON{X: r.Point.X, Y: r.Point.Y},
+			RNN:   nonNil(r.RNN),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "query parameter \"k\" must be a positive integer, got %q", raw)
+			return
+		}
+		k = v
+	}
+	if k > s.maxRegions {
+		k = s.maxRegions
+	}
+	regions := s.m.TopK(k)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"k":       k,
+		"regions": toRegionJSON(regions),
+	})
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	minHeat, err := parseFloat(r, "min")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	regions := s.m.AboveThreshold(minHeat)
+	total := len(regions)
+	truncated := false
+	if total > s.maxRegions {
+		regions = regions[:s.maxRegions]
+		truncated = true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"min":       minHeat,
+		"total":     total,
+		"truncated": truncated,
+		"regions":   toRegionJSON(regions),
+	})
+}
+
+// handleHistogram serves the heat distribution as equal-width bins, the
+// data behind a dashboard's heat legend.
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	bins := 20
+	if raw := r.URL.Query().Get("bins"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 1000 {
+			writeError(w, http.StatusBadRequest, "query parameter \"bins\" must be an integer in [1, 1000], got %q", raw)
+			return
+		}
+		bins = v
+	}
+	edges, counts := s.m.HeatHistogram(bins)
+	if edges == nil {
+		edges = []float64{}
+	}
+	if counts == nil {
+		counts = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"bins":   bins,
+		"edges":  edges,
+		"counts": counts,
+	})
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	yRaw, ok := strings.CutSuffix(r.PathValue("y"), ".png")
+	if !ok {
+		writeError(w, http.StatusBadRequest, "tile path must end in .png")
+		return
+	}
+	z, errZ := strconv.Atoi(r.PathValue("z"))
+	x, errX := strconv.Atoi(r.PathValue("x"))
+	y, errY := strconv.Atoi(yRaw)
+	if errZ != nil || errX != nil || errY != nil {
+		writeError(w, http.StatusBadRequest, "tile coordinates must be integers: /tiles/{z}/{x}/{y}.png")
+		return
+	}
+	if !s.grid.valid(z, x, y) {
+		writeError(w, http.StatusNotFound, "tile %d/%d/%d outside the pyramid (zoom 0..%d, 2^z tiles per axis)", z, x, y, MaxZoom)
+		return
+	}
+	key := fmt.Sprintf("%d/%d/%d/%s", z, x, y, s.m.MeasureName())
+	t, _, err := s.cache.get(key, func() (*tileData, error) { return s.renderTile(z, x, y) })
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering tile: %v", err)
+		return
+	}
+	w.Header().Set("ETag", t.etag)
+	w.Header().Set("Cache-Control", "public, max-age=3600")
+	if r.Header.Get("If-None-Match") == t.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("Content-Length", strconv.Itoa(len(t.png)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(t.png)
+}
+
+// renderTile rasterizes one tile, encodes it as PNG normalizing against the
+// map-wide heat range, and stamps the ETag once.
+func (s *Server) renderTile(z, x, y int) (*tileData, error) {
+	raster, err := s.rd.Render(s.grid.tileBounds(z, x, y), s.tileSize, s.tileSize)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := raster.WritePNGScaled(&buf, s.cm, s.heatLo, s.heatHi); err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(buf.Bytes())
+	etag := fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+	return &tileData{png: buf.Bytes(), etag: etag}, nil
+}

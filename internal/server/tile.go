@@ -1,0 +1,49 @@
+package server
+
+import (
+	"math"
+
+	"rnnheatmap/internal/geom"
+)
+
+// MaxZoom bounds the tile pyramid depth. At zoom z the world square is split
+// into 2^z by 2^z tiles, so 22 levels already address sub-centimeter pixels
+// on a city-scale map — deeper requests are rejected rather than rendered.
+const MaxZoom = 22
+
+// grid maps slippy-map tile coordinates (z, x, y) onto the map's data
+// bounds. Zoom 0 is a single tile covering the whole world square; each
+// level doubles the resolution; y = 0 is the top (north) row, matching the
+// usual web-map convention.
+type grid struct {
+	// world is the square viewport tiles are cut from: the data bounds
+	// centered in a square of side max(width, height).
+	world geom.Rect
+}
+
+// newGrid builds the tile grid for the given data bounds. The bounds are
+// padded to a square (centered) so tiles have square pixels at every zoom.
+func newGrid(bounds geom.Rect) grid {
+	side := math.Max(bounds.Width(), bounds.Height())
+	c := bounds.Center()
+	return grid{world: geom.RectFromCenter(c, side/2)}
+}
+
+// valid reports whether (z, x, y) addresses a tile of the pyramid.
+func (g grid) valid(z, x, y int) bool {
+	if z < 0 || z > MaxZoom {
+		return false
+	}
+	n := 1 << z
+	return x >= 0 && x < n && y >= 0 && y < n
+}
+
+// tileBounds returns the world-space rectangle covered by tile (z, x, y).
+// The caller must have checked valid first.
+func (g grid) tileBounds(z, x, y int) geom.Rect {
+	n := float64(uint64(1) << z)
+	side := g.world.Width() / n
+	minX := g.world.MinX + float64(x)*side
+	maxY := g.world.MaxY - float64(y)*side
+	return geom.Rect{MinX: minX, MinY: maxY - side, MaxX: minX + side, MaxY: maxY}
+}

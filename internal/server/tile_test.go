@@ -1,0 +1,56 @@
+package server
+
+import (
+	"testing"
+
+	"rnnheatmap/internal/geom"
+)
+
+func TestGridWorldIsCenteredSquare(t *testing.T) {
+	g := newGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 40})
+	if w, h := g.world.Width(), g.world.Height(); w != h || w != 100 {
+		t.Fatalf("world = %v, want a 100x100 square", g.world)
+	}
+	if c := g.world.Center(); c.X != 50 || c.Y != 20 {
+		t.Fatalf("world center = %v, want (50, 20)", c)
+	}
+}
+
+func TestGridTileBounds(t *testing.T) {
+	g := newGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8})
+	if got := g.tileBounds(0, 0, 0); got != g.world {
+		t.Fatalf("tile 0/0/0 = %v, want the whole world %v", got, g.world)
+	}
+	// Zoom 1: tile (0, 0) is the north-west quadrant.
+	nw := g.tileBounds(1, 0, 0)
+	want := geom.Rect{MinX: 0, MinY: 4, MaxX: 4, MaxY: 8}
+	if nw != want {
+		t.Fatalf("tile 1/0/0 = %v, want %v", nw, want)
+	}
+	// The four zoom-1 tiles partition the world exactly.
+	se := g.tileBounds(1, 1, 1)
+	if se != (geom.Rect{MinX: 4, MinY: 0, MaxX: 8, MaxY: 4}) {
+		t.Fatalf("tile 1/1/1 = %v, want the south-east quadrant", se)
+	}
+}
+
+func TestGridValid(t *testing.T) {
+	g := newGrid(geom.Rect{MaxX: 1, MaxY: 1})
+	cases := []struct {
+		z, x, y int
+		want    bool
+	}{
+		{0, 0, 0, true},
+		{0, 1, 0, false},
+		{1, 1, 1, true},
+		{1, 2, 0, false},
+		{-1, 0, 0, false},
+		{MaxZoom, 0, 0, true},
+		{MaxZoom + 1, 0, 0, false},
+	}
+	for _, tc := range cases {
+		if got := g.valid(tc.z, tc.x, tc.y); got != tc.want {
+			t.Errorf("valid(%d, %d, %d) = %v, want %v", tc.z, tc.x, tc.y, got, tc.want)
+		}
+	}
+}
