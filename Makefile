@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test-short-race test bench-parallel serve
+.PHONY: ci fmt-check vet build test-short-race test bench bench-parallel fuzz-smoke serve
 
 # ci is the gate every change must pass: formatting, vet, build, the fast
 # suite under the race detector (the strip-parallel sweep is the main
@@ -24,10 +24,31 @@ test-short-race:
 test:
 	$(GO) test ./...
 
+# bench snapshots the repo-level benchmark suite to BENCH_PR3.json so the
+# perf trajectory is tracked in-repo. The benchmarks that gate this repo's
+# own hot paths (ApplyDelta, TileServe, the strip-parallel sweep, the
+# ablations) run 3 iterations for stable numbers; the paper-figure
+# reproductions — which deliberately include the paper's slow baselines —
+# run once. Reconstruct benchstat input with:
+#   jq -r '.benchmarks[].line' BENCH_PR3.json | benchstat /dev/stdin
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkAblation' \
+		-benchmem -benchtime 3x -timeout 30m . | tee /tmp/bench_out.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkTable' \
+		-benchmem -benchtime 1x -timeout 30m . | tee -a /tmp/bench_out.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_out.txt > BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json"
+
 # bench-parallel runs the sequential-vs-parallel CREST benchmark that tracks
 # the partition layer's speedup (see bench_test.go).
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkCRESTParallel -benchtime 2x .
+
+# fuzz-smoke replays the committed corpus and fuzzes the differential
+# Region Coloring harness for 30s (the CI budget); counterexamples land in
+# internal/core/testdata/fuzz/ as regression seeds.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRegionColoring -fuzztime 30s ./internal/core
 
 # serve starts heatmapd on a small seeded NYC workload; see the README's
 # endpoint reference for what to curl.

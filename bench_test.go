@@ -7,9 +7,13 @@ package rnnheatmap
 
 import (
 	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
+	"rnnheatmap/heatmap"
 	"rnnheatmap/internal/core"
 	"rnnheatmap/internal/dataset"
 	"rnnheatmap/internal/experiment"
@@ -17,6 +21,7 @@ import (
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
 	"rnnheatmap/internal/render"
+	"rnnheatmap/internal/server"
 )
 
 // benchWorkload builds a reproducible workload of nO clients and nF
@@ -284,6 +289,116 @@ func BenchmarkAblationEnclosureIndex(b *testing.B) {
 			benchSink, err = core.CREST(ncs, opts)
 			if err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchMap builds a heatmap.Map over a sampled uniform workload for the
+// delta and serving benchmarks.
+func benchMap(b *testing.B, nO, nF int, metric geom.Metric) *heatmap.Map {
+	b.Helper()
+	pool, err := dataset.ByName("Uniform", (nO+nF)*2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients, facilities := pool.SampleClientsFacilities(nO, nF, 17)
+	m, err := heatmap.Build(heatmap.Config{Clients: clients, Facilities: facilities, Metric: metric})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkApplyDelta measures the incremental maintenance path against the
+// from-scratch rebuild it replaces: one localized client insertion and one
+// facility closure per map size, plus the full Build for reference. ApplyDelta
+// is copy-on-write, so every iteration applies to the same pristine base map.
+func BenchmarkApplyDelta(b *testing.B) {
+	for _, nO := range []int{5000, 20000} {
+		m := benchMap(b, nO, nO/20, geom.LInf)
+		bounds := m.Bounds()
+		rng := rand.New(rand.NewSource(5))
+		pt := func() heatmap.Point {
+			return heatmap.Pt(bounds.MinX+rng.Float64()*bounds.Width(), bounds.MinY+rng.Float64()*bounds.Height())
+		}
+		b.Run(fmt.Sprintf("n=%d/add-client", nO), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.ApplyDelta(heatmap.Delta{AddClients: []heatmap.Point{pt()}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/close-facility", nO), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := heatmap.Delta{RemoveFacilities: []int{rng.Intn(m.NumFacilities())}}
+				if _, _, err := m.ApplyDelta(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/full-rebuild", nO), func(b *testing.B) {
+			b.ReportAllocs()
+			// Exactly benchMap's workload, so the rebuild number is an
+			// apples-to-apples baseline for the incremental sub-benchmarks.
+			pool, err := dataset.ByName("Uniform", (nO+nO/20)*2, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients, facilities := pool.SampleClientsFacilities(nO, nO/20, 17)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := heatmap.Build(heatmap.Config{Clients: clients, Facilities: facilities, Metric: geom.LInf}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTileServe measures the tile path of the HTTP layer: warm requests
+// (cache hits, the steady state a CDN origin sees) and cold requests (every
+// tile rendered once).
+func BenchmarkTileServe(b *testing.B) {
+	m := benchMap(b, 5000, 250, geom.L2)
+	s, err := server.New(server.Config{Map: m, TileSize: 128, TileCacheSize: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	get := func(path string) int {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	warm := make([]string, 0, 16)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			path := fmt.Sprintf("/tiles/2/%d/%d.png", x, y)
+			if code := get(path); code != http.StatusOK {
+				b.Fatalf("GET %s = %d", path, code)
+			}
+			warm = append(warm, path)
+		}
+	}
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if code := get(warm[i%len(warm)]); code != http.StatusOK {
+				b.Fatal("warm tile failed")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		const z = 11
+		n := 1 << z
+		for i := 0; i < b.N; i++ {
+			path := fmt.Sprintf("/tiles/%d/%d/%d.png", z, i%n, (i/n)%n)
+			if code := get(path); code != http.StatusOK {
+				b.Fatal("cold tile failed")
 			}
 		}
 	})

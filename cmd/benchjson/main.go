@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a stable JSON document (written to stdout), so benchmark runs can be
+// committed and diffed across PRs. Every metric pair the Go benchmark
+// harness emits — ns/op, B/op, allocs/op and custom b.ReportMetric units —
+// is preserved under its unit name, and the raw benchmark line is kept
+// verbatim so `benchstat` can be fed a reconstruction at any time:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH.json
+//	jq -r '.benchmarks[].line' BENCH.json | benchstat /dev/stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	// Name is the benchmark name including sub-benchmark path and the -cpu
+	// suffix (e.g. "BenchmarkApplyDelta/n=20000/add-client-8").
+	Name string `json:"name"`
+	// Runs is the iteration count the harness settled on.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value for every reported metric (ns/op, B/op,
+	// allocs/op, custom units).
+	Metrics map[string]float64 `json:"metrics"`
+	// Line is the raw benchmark line, benchstat-ready.
+	Line string `json:"line"`
+}
+
+type document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{Benchmarks: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line: a name, an iteration count,
+// then value/unit pairs.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}, Line: line}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

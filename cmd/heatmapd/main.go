@@ -1,18 +1,22 @@
-// Command heatmapd is a long-running HTTP server over one RNN heat map: it
+// Command heatmapd is a long-running HTTP server over an RNN heat map: it
 // builds (or loads from CSV) the map once at startup, then serves raster
 // tiles, influence queries, top-k and threshold exploration, health and
-// stats until shut down. See internal/server for the endpoint reference.
+// stats until shut down. With -mutable it also accepts live client/facility
+// insertions and deletions, applied incrementally with a copy-on-write map
+// swap. See internal/server for the endpoint reference.
 //
 // Examples:
 //
 //	heatmapd -dataset NYC -clients 5000 -facilities 1500 -metric l2 -addr :8080
 //	heatmapd -clients-csv o.csv -facilities-csv f.csv -measure capacity -cap 25
+//	heatmapd -dataset NYC -mutable       # enable POST/DELETE /clients, /facilities
 //
 // Then:
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/heat?x=-73.985\&y=40.755    # NYC is (lon, lat)
 //	curl -o tile.png localhost:8080/tiles/3/4/2.png
+//	curl -X POST localhost:8080/facilities -d '{"points":[{"x":-73.985,"y":40.755}]}'
 package main
 
 import (
@@ -54,6 +58,7 @@ func main() {
 		tileSize      = flag.Int("tile-size", 256, "tile edge length in pixels")
 		tileCache     = flag.Int("tile-cache", 512, "LRU tile cache capacity (tiles)")
 		colorMapName  = flag.String("colormap", "gray", "tile color map: gray or inferno")
+		mutable       = flag.Bool("mutable", false, "enable the live mutation API (POST/DELETE /clients and /facilities)")
 	)
 	flag.Parse()
 
@@ -63,6 +68,7 @@ func main() {
 		measureName: *measureName, capPer: *capPer, capNew: *capNew,
 		workers: *workers, seed: *seed,
 		tileSize: *tileSize, tileCache: *tileCache, colorMapName: *colorMapName,
+		mutable: *mutable,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -79,6 +85,7 @@ type config struct {
 	seed                      int64
 	tileSize, tileCache       int
 	colorMapName              string
+	mutable                   bool
 }
 
 func run(cfg config) error {
@@ -97,6 +104,12 @@ func run(cfg config) error {
 	measure, err := buildMeasure(cfg, clients, facilities, metric)
 	if err != nil {
 		return err
+	}
+	if cfg.mutable && strings.ToLower(cfg.measureName) == "capacity" {
+		// The capacity measure closes over the client -> facility assignment
+		// computed at startup; live set updates would silently evaluate heat
+		// against a stale assignment.
+		return fmt.Errorf("-mutable is incompatible with -measure capacity (the assignment context would go stale)")
 	}
 
 	log.Printf("building heat map: %d clients, %d facilities, metric=%s measure=%s workers=%d",
@@ -118,12 +131,16 @@ func run(cfg config) error {
 
 	srv, err := server.New(server.Config{
 		Map:           m,
+		Mutable:       cfg.mutable,
 		TileSize:      cfg.tileSize,
 		TileCacheSize: cfg.tileCache,
 		ColorMap:      cm,
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.mutable {
+		log.Printf("mutation API enabled: POST/DELETE /clients and /facilities")
 	}
 
 	httpSrv := &http.Server{

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"rnnheatmap/heatmap"
 )
@@ -67,4 +68,65 @@ func main() {
 	// the best utility.
 	good := m.AboveThreshold(capMax * 0.99)
 	fmt.Printf("\n%d labeled regions are within 1%% of the best utility\n", len(good))
+
+	// --- What-if: actually open the winning service point -----------------
+	//
+	// ApplyDelta applies the change incrementally: only the NN-circles of the
+	// clients the new point captures change, so just the dirty slice of the
+	// arrangement is reswept and spliced — the answer is identical to a full
+	// rebuild. (The walkthrough runs on the plain size-measure map: the
+	// capacity measure's assignment context is index-based and must be
+	// rebuilt after a facility change, shown below.)
+	_, sizeBest := base.MaxHeat()
+	opened, stats, err := base.ApplyDelta(heatmap.Delta{AddFacilities: []heatmap.Point{sizeBest.Point}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	openedMax, _ := opened.MaxHeat()
+	fmt.Printf("\nwhat-if: open a service point at %s\n", sizeBest.Point)
+	fmt.Printf("  hottest location drops from %.0f to %.0f captured clients\n", sizeMax, openedMax)
+	fmt.Printf("  reswept %d of %d sweep events (%.1f%%) in %v — a full rebuild would resweep all of them\n",
+		stats.EventsReswept, stats.EventsTotal,
+		100*float64(stats.EventsReswept)/float64(stats.EventsTotal), stats.Duration.Round(time.Microsecond))
+
+	// --- What-if: close the busiest existing point ------------------------
+	//
+	// Swap-remove semantics: the last facility moves into the freed slot, so
+	// every other index is unchanged.
+	busiest, counts := 0, make(map[int]int)
+	for _, f := range assignment {
+		counts[f]++
+		if counts[f] > counts[busiest] {
+			busiest = f
+		}
+	}
+	closed, stats, err := base.ApplyDelta(heatmap.Delta{RemoveFacilities: []int{busiest}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	closedMax, closedBest := closed.MaxHeat()
+	fmt.Printf("\nwhat-if: close the busiest point (#%d, %d assigned clients)\n", busiest, counts[busiest])
+	fmt.Printf("  best replacement location now captures %.0f clients at %s\n", closedMax, closedBest.Point)
+	fmt.Printf("  reswept %d of %d sweep events (rebuilt=%v)\n", stats.EventsReswept, stats.EventsTotal, stats.Rebuilt)
+
+	// Index-based measures need fresh context after the update: recompute the
+	// assignment against the enlarged facility set and rebuild the capacity
+	// map for the post-opening world.
+	newFacilities := append(append([]heatmap.Point(nil), facilities...), sizeBest.Point)
+	newAssignment, err := heatmap.NearestAssignment(clients, newFacilities, heatmap.L1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newCapacities := append(append([]float64(nil), capacities...), 40)
+	m2, err := heatmap.Build(heatmap.Config{
+		Clients:    clients,
+		Facilities: newFacilities,
+		Metric:     heatmap.L1,
+		Measure:    heatmap.Capacity(newAssignment, newCapacities, 40),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cap2, _ := m2.MaxHeat()
+	fmt.Printf("\nafter opening, the best capacity-aware utility for a further point is %.0f (was %.0f)\n", cap2, capMax)
 }

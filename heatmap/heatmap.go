@@ -23,9 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rnnheatmap/internal/core"
 	"rnnheatmap/internal/dataset"
+	"rnnheatmap/internal/delta"
 	"rnnheatmap/internal/enclosure"
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/influence"
@@ -199,6 +201,124 @@ func Build(cfg Config) (*Map, error) {
 		measure: measure,
 	}, nil
 }
+
+// Delta is a batch of client/facility mutations for ApplyDelta, applied
+// atomically in field order: client removals, then client additions, then
+// facility removals, then facility additions. Removal indexes are sequential
+// — each refers to the slice as left by the preceding removals of the same
+// batch — and removals swap-remove: the last element moves into the freed
+// slot, so all other indexes stay stable. The zero value is a no-op.
+type Delta struct {
+	AddClients       []Point
+	RemoveClients    []int
+	AddFacilities    []Point
+	RemoveFacilities []int
+}
+
+// ErrBadDelta marks ApplyDelta validation failures (out-of-range indexes,
+// non-finite points, an update emptying the client or facility set). Check
+// with errors.Is to distinguish caller mistakes from internal failures.
+var ErrBadDelta = delta.ErrBadDelta
+
+// DeltaStats describes the incremental work one ApplyDelta performed.
+type DeltaStats struct {
+	// ChangedClients is the number of clients whose NN-circle changed.
+	ChangedClients int
+	// Rebuilt reports that the update dirtied too much of the arrangement and
+	// a full resweep ran instead of an incremental splice.
+	Rebuilt bool
+	// EventsTotal is the sweep-event count of the updated arrangement;
+	// EventsReswept is how many of them the incremental path actually swept.
+	EventsTotal, EventsReswept int
+	// DirtyRect bounds everything the update could have changed, in map
+	// coordinates; tile caches invalidate against it. Empty when nothing
+	// changed.
+	DirtyRect Rect
+	// Duration is the wall-clock time of the update.
+	Duration time.Duration
+}
+
+// ApplyDelta returns a new Map reflecting the mutations in d, leaving the
+// receiver untouched — the copy-on-write building block for servers that
+// atomically swap the map under concurrent readers. The returned map is
+// identical (regions, heat values, rendered pixels) to a from-scratch Build
+// over the updated client and facility sets, but only the part of the
+// arrangement the update dirtied is reswept; DeltaStats says how much that
+// was.
+//
+// ApplyDelta requires a bichromatic map computed with the CREST algorithm
+// (the default), and a measure whose meaning survives the update: measures
+// whose context is indexed by client or facility position (Weighted,
+// Capacity, Connectivity) go stale when the update renumbers or extends
+// those indexes, so ApplyDelta rejects them — rebuild the map with fresh
+// context instead. A CustomMeasure is accepted as-is; if its function closes
+// over per-index context, rebuilding is likewise the caller's job.
+func (m *Map) ApplyDelta(d Delta) (*Map, DeltaStats, error) {
+	if m.cfg.Monochromatic {
+		return nil, DeltaStats{}, errors.New("heatmap: ApplyDelta requires a bichromatic map")
+	}
+	if m.cfg.Algorithm != "" && m.cfg.Algorithm != AlgCREST {
+		return nil, DeltaStats{}, fmt.Errorf("heatmap: ApplyDelta requires the CREST algorithm, map was built with %q", m.cfg.Algorithm)
+	}
+	if influence.UsesIndexContext(m.measure) {
+		return nil, DeltaStats{}, fmt.Errorf("heatmap: ApplyDelta cannot update a map whose %q measure closes over client/facility indexes; rebuild it with fresh context", m.measure.Name())
+	}
+	out, err := delta.Apply(
+		delta.State{
+			Clients:    m.cfg.Clients,
+			Facilities: m.cfg.Facilities,
+			Circles:    m.circles,
+			Labels:     m.result.Labels,
+		},
+		delta.Delta{
+			AddClients:       d.AddClients,
+			RemoveClients:    d.RemoveClients,
+			AddFacilities:    d.AddFacilities,
+			RemoveFacilities: d.RemoveFacilities,
+		},
+		delta.Options{
+			Metric:    m.cfg.Metric,
+			Measure:   m.measure,
+			Workers:   m.cfg.Workers,
+			Enclosure: m.index,
+		},
+	)
+	if err != nil {
+		return nil, DeltaStats{}, fmt.Errorf("heatmap: %w", err)
+	}
+	cfg := m.cfg
+	cfg.Clients = out.State.Clients
+	cfg.Facilities = out.State.Facilities
+	bounds := geom.EmptyRect()
+	for _, nc := range out.State.Circles {
+		bounds = bounds.Union(nc.Circle.BoundingRect())
+	}
+	// The enclosure index is rebuilt rather than patched: the old map must
+	// keep serving concurrent readers from its own index, so an in-place
+	// patch is off the table, and bulk-loading the R-tree is a small cost
+	// next to even the incremental resweep.
+	next := &Map{
+		cfg:     cfg,
+		circles: out.State.Circles,
+		bounds:  bounds,
+		result:  out.Result,
+		index:   enclosure.NewRTreeIndex(nncircle.Circles(out.State.Circles)),
+		measure: m.measure,
+	}
+	return next, DeltaStats{
+		ChangedClients: out.Stats.ChangedClients,
+		Rebuilt:        out.Stats.Rebuilt,
+		EventsTotal:    out.Stats.EventsTotal,
+		EventsReswept:  out.Stats.EventsReswept,
+		DirtyRect:      out.Stats.DirtyRect,
+		Duration:       out.Stats.Duration,
+	}, nil
+}
+
+// NumClients and NumFacilities return the sizes of the client and facility
+// sets the map was built from (after any ApplyDelta updates).
+func (m *Map) NumClients() int    { return len(m.cfg.Clients) }
+func (m *Map) NumFacilities() int { return len(m.cfg.Facilities) }
 
 // NearestAssignment returns, for each client, the index of its nearest
 // facility under the metric — the "current assignment" the

@@ -165,6 +165,7 @@ func checkCompleteness(t *testing.T, name string, circles []nncircle.NNCircle, l
 // --- input validation ----------------------------------------------------
 
 func TestValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := CREST(nil, Options{}); err != ErrNoCircles {
 		t.Errorf("CREST(nil) err = %v, want ErrNoCircles", err)
 	}
@@ -198,6 +199,7 @@ func TestValidation(t *testing.T) {
 // --- single-circle and tiny instances ------------------------------------
 
 func TestSingleCircle(t *testing.T) {
+	t.Parallel()
 	circles := []nncircle.NNCircle{{Client: 7, Facility: 0, Circle: geom.NewCircle(geom.Pt(5, 5), 2, geom.LInf)}}
 	for name, run := range map[string]func() (*Result, error){
 		"crest":    func() (*Result, error) { return CREST(circles, Options{}) },
@@ -219,6 +221,7 @@ func TestSingleCircle(t *testing.T) {
 }
 
 func TestTwoDisjointCircles(t *testing.T) {
+	t.Parallel()
 	circles := []nncircle.NNCircle{
 		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 1, geom.LInf)},
 		{Client: 1, Circle: geom.NewCircle(geom.Pt(10, 10), 1, geom.LInf)},
@@ -240,6 +243,7 @@ func TestTwoDisjointCircles(t *testing.T) {
 }
 
 func TestNestedCircles(t *testing.T) {
+	t.Parallel()
 	// A small square entirely inside a big one: regions {inner+outer} and
 	// {outer} must both appear.
 	circles := []nncircle.NNCircle{
@@ -268,6 +272,7 @@ func TestNestedCircles(t *testing.T) {
 // TestWorstCaseStaircase reproduces Fig. 8 of the paper: n squares of side n
 // centered at (i, i); the arrangement has Θ(n²) regions.
 func TestWorstCaseStaircase(t *testing.T) {
+	t.Parallel()
 	const n = 12
 	circles := make([]nncircle.NNCircle, n)
 	for i := 0; i < n; i++ {
@@ -318,6 +323,7 @@ func TestWorstCaseStaircase(t *testing.T) {
 // --- randomized cross-validation -----------------------------------------
 
 func TestCRESTMatchesOracleRandomLInf(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(101))
 	for trial := 0; trial < 8; trial++ {
 		ncs, _, _ := randomInstance(t, rng, 60+trial*20, 4+trial, geom.LInf, 100)
@@ -331,6 +337,7 @@ func TestCRESTMatchesOracleRandomLInf(t *testing.T) {
 }
 
 func TestCRESTMatchesOracleRandomL1(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(202))
 	for trial := 0; trial < 6; trial++ {
 		ncs, _, _ := randomInstance(t, rng, 80, 5, geom.L1, 50)
@@ -344,6 +351,7 @@ func TestCRESTMatchesOracleRandomL1(t *testing.T) {
 }
 
 func TestCRESTAMatchesOracleRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(303))
 	for trial := 0; trial < 4; trial++ {
 		metric := []geom.Metric{geom.LInf, geom.L1}[trial%2]
@@ -358,6 +366,7 @@ func TestCRESTAMatchesOracleRandom(t *testing.T) {
 }
 
 func TestBaselineMatchesOracleRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(404))
 	for trial := 0; trial < 3; trial++ {
 		metric := []geom.Metric{geom.LInf, geom.L1}[trial%2]
@@ -374,6 +383,7 @@ func TestBaselineMatchesOracleRandom(t *testing.T) {
 // TestAlgorithmsAgree verifies CREST, CREST-A and the baseline discover the
 // same distinct RNN sets and the same maximum under several measures.
 func TestAlgorithmsAgree(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(505))
 	for trial := 0; trial < 6; trial++ {
 		metric := []geom.Metric{geom.LInf, geom.L1}[trial%2]
@@ -455,6 +465,7 @@ func TestAlgorithmsAgree(t *testing.T) {
 // --- options and stats ----------------------------------------------------
 
 func TestDiscardLabels(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(606))
 	ncs, _, _ := randomInstance(t, rng, 60, 5, geom.LInf, 50)
 	full, err := CREST(ncs, Options{})
@@ -480,6 +491,7 @@ func TestDiscardLabels(t *testing.T) {
 }
 
 func TestStatsPopulated(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(707))
 	ncs, _, _ := randomInstance(t, rng, 40, 4, geom.LInf, 50)
 	res, err := CREST(ncs, Options{})
@@ -507,6 +519,7 @@ func TestStatsPopulated(t *testing.T) {
 // --- the paper's generic-measure example (Fig. 3 style) -------------------
 
 func TestGenericMeasureExample(t *testing.T) {
+	t.Parallel()
 	// Four clients, two facilities, L-infinity. Clients o1 (index 0), o2 (1)
 	// and o4 (3) are pairwise "connected" (e.g. passengers with nearby
 	// destinations); o3 (2) is isolated. The best region under the size

@@ -10,6 +10,7 @@ import (
 )
 
 func TestCRESTL2SingleCircle(t *testing.T) {
+	t.Parallel()
 	circles := []nncircle.NNCircle{{Client: 3, Circle: geom.NewCircle(geom.Pt(0, 0), 2, geom.L2)}}
 	res, err := CRESTL2(circles, Options{})
 	if err != nil {
@@ -22,6 +23,7 @@ func TestCRESTL2SingleCircle(t *testing.T) {
 }
 
 func TestCRESTL2TwoOverlappingCircles(t *testing.T) {
+	t.Parallel()
 	circles := []nncircle.NNCircle{
 		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 1.5, geom.L2)},
 		{Client: 1, Circle: geom.NewCircle(geom.Pt(2, 0), 1.5, geom.L2)},
@@ -43,6 +45,7 @@ func TestCRESTL2TwoOverlappingCircles(t *testing.T) {
 }
 
 func TestCRESTL2NestedCircles(t *testing.T) {
+	t.Parallel()
 	circles := []nncircle.NNCircle{
 		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 5, geom.L2)},
 		{Client: 1, Circle: geom.NewCircle(geom.Pt(0.5, 0.5), 1, geom.L2)},
@@ -59,6 +62,7 @@ func TestCRESTL2NestedCircles(t *testing.T) {
 }
 
 func TestCRESTL2ThreeCircleRegions(t *testing.T) {
+	t.Parallel()
 	// Three mutually overlapping circles in general position: all seven
 	// inside/outside combinations exist as regions and must be discovered,
 	// and every label must match the oracle.
@@ -84,6 +88,7 @@ func TestCRESTL2ThreeCircleRegions(t *testing.T) {
 }
 
 func TestCRESTL2MatchesOracleRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(808))
 	for trial := 0; trial < 8; trial++ {
 		ncs, _, _ := randomInstance(t, rng, 30+10*trial, 4+trial, geom.L2, 60)
@@ -100,6 +105,7 @@ func TestCRESTL2MatchesOracleRandom(t *testing.T) {
 }
 
 func TestCRESTL2MonochromaticRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(909))
 	points := make([]geom.Point, 80)
 	for i := range points {
@@ -122,6 +128,7 @@ func TestCRESTL2MonochromaticRandom(t *testing.T) {
 }
 
 func TestPruningMaxAgreesWithCRESTL2(t *testing.T) {
+	t.Parallel()
 	// Small instances with enough facilities that overlap neighborhoods stay
 	// modest: the pruning comparator is exponential in the overlap degree,
 	// which is exactly why the paper uses it as the slow baseline.
@@ -148,6 +155,7 @@ func TestPruningMaxAgreesWithCRESTL2(t *testing.T) {
 }
 
 func TestPruningMaxWithBudget(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1111))
 	ncs, _, _ := randomInstance(t, rng, 20, 8, geom.L2, 40)
 	unlimited, err := PruningMax(ncs, Options{}, 0)
@@ -164,6 +172,7 @@ func TestPruningMaxWithBudget(t *testing.T) {
 }
 
 func TestPruningMaxLabelIsReal(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1212))
 	ncs, _, _ := randomInstance(t, rng, 20, 8, geom.L2, 40)
 	res, err := PruningMax(ncs, Options{}, 0)
@@ -180,6 +189,7 @@ func TestPruningMaxLabelIsReal(t *testing.T) {
 }
 
 func TestCRESTDispatchesL2(t *testing.T) {
+	t.Parallel()
 	circles := []nncircle.NNCircle{
 		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 1, geom.L2)},
 		{Client: 1, Circle: geom.NewCircle(geom.Pt(1, 0), 1, geom.L2)},

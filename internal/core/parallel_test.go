@@ -75,6 +75,7 @@ func assertSameResult(t *testing.T, name string, seq, par *Result) {
 // sweep produces exactly the sequential result. Run it under -race (the CI
 // short suite does) to exercise the per-strip isolation.
 func TestParallelEquivalence(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(909))
 	for _, metric := range []geom.Metric{geom.LInf, geom.L1, geom.L2} {
 		// L2 instances are kept smaller: their event count grows with the
@@ -112,6 +113,7 @@ func TestParallelEquivalence(t *testing.T) {
 // TestParallelEquivalenceCRESTA covers the ablation variant, which shares
 // the partition layer but labels every status pair.
 func TestParallelEquivalenceCRESTA(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(910))
 	for _, metric := range []geom.Metric{geom.LInf, geom.L1} {
 		n := 200
@@ -137,6 +139,7 @@ func TestParallelEquivalenceCRESTA(t *testing.T) {
 // suppressed: the maximum and statistics must still match the sequential
 // run exactly.
 func TestParallelDiscardLabels(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(911))
 	ncs, _, _ := randomInstance(t, rng, 250, 6, geom.LInf, 100)
 	seq, err := CREST(ncs, Options{Workers: 1, DiscardLabels: true})
@@ -156,6 +159,7 @@ func TestParallelDiscardLabels(t *testing.T) {
 // TestParallelDefaultWorkers checks the Workers zero value resolves to
 // GOMAXPROCS and still matches the oracle.
 func TestParallelDefaultWorkers(t *testing.T) {
+	t.Parallel()
 	if got := (Options{}).workerCount(); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("workerCount() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}
@@ -173,6 +177,7 @@ func TestParallelDefaultWorkers(t *testing.T) {
 
 // TestSplitSpans exercises the strip splitter directly.
 func TestSplitSpans(t *testing.T) {
+	t.Parallel()
 	xOf := func(e event) float64 { return e.x }
 	events := make([]event, 1000)
 	for i := range events {
@@ -212,6 +217,7 @@ func TestSplitSpans(t *testing.T) {
 // up (its removal event belongs to the strip), while a circle whose left
 // side lies on the boundary must not (its insertion event does).
 func TestStraddlingXWarmup(t *testing.T) {
+	t.Parallel()
 	ncs := []nncircle.NNCircle{
 		{Client: 0, Circle: geom.NewCircle(geom.Pt(0, 0), 2, geom.LInf)},  // [-2, 2]
 		{Client: 1, Circle: geom.NewCircle(geom.Pt(4, 0), 2, geom.LInf)},  // [2, 6]

@@ -1,0 +1,307 @@
+// Package delta maintains a built Region Coloring result under client and
+// facility insertions and deletions without resweeping the whole arrangement.
+//
+// The paper's CREST (and this repository's reproduction of it) is a
+// build-once algorithm: any change to the client set O or facility set F
+// invalidates the labels. But an update only perturbs the NN-circles whose
+// nearest-facility assignment it changes — inserting a facility shrinks the
+// circles that contain it, deleting one grows the circles of the clients it
+// served, and client updates touch a single circle — so the dirty part of the
+// arrangement is a union of bounded x-intervals. This package computes which
+// circles change (reusing the point-enclosure index for facility insertions
+// and the same k-d tree construction as package nncircle for the
+// re-assignments), then hands the perturbed geometry to core.Resweep, which
+// resweeps just the dirty intervals and splices the relabeled faces into the
+// prior label list. The spliced result is identical, label for label, to a
+// from-scratch rebuild over the updated sets.
+//
+// Deletions use swap-remove semantics: the last element moves into the freed
+// slot. That keeps every unrelated index stable and bounds the renumbering
+// fallout to one moved element, whose circle is simply reported as perturbed.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/enclosure"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/kdtree"
+	"rnnheatmap/internal/nncircle"
+)
+
+// ErrBadDelta marks validation failures: out-of-range indexes, non-finite
+// points, or an update that would empty the client or facility set. Callers
+// (e.g. the HTTP layer) can errors.Is against it to distinguish caller
+// mistakes from internal failures.
+var ErrBadDelta = errors.New("delta: invalid delta")
+
+// Delta is one batch of set mutations, applied atomically in field order:
+// client removals, then client additions, then facility removals, then
+// facility additions. Removal indexes are interpreted sequentially — each
+// refers to the slice as left by the preceding removals of the same batch —
+// and every removal swap-removes (the last element moves into the freed
+// slot). The zero value is a no-op.
+type Delta struct {
+	AddClients       []geom.Point
+	RemoveClients    []int
+	AddFacilities    []geom.Point
+	RemoveFacilities []int
+}
+
+// Empty reports whether the delta performs no mutation.
+func (d Delta) Empty() bool {
+	return len(d.AddClients) == 0 && len(d.RemoveClients) == 0 &&
+		len(d.AddFacilities) == 0 && len(d.RemoveFacilities) == 0
+}
+
+// State is a snapshot of the maintained sets together with the labels of the
+// current Region Coloring result. Circles must be in client order
+// (Circles[i].Client == i), exactly as nncircle.Compute returns them. Apply
+// never mutates a State's slices; the outcome carries fresh ones.
+type State struct {
+	Clients    []geom.Point
+	Facilities []geom.Point
+	Circles    []nncircle.NNCircle
+	Labels     []core.Label
+}
+
+// Options configures an Apply call.
+type Options struct {
+	// Metric is the distance metric of the maintained map. Required.
+	Metric geom.Metric
+	// Measure is the influence measure; nil means influence.Size().
+	Measure influence.Measure
+	// Workers is the sweep parallelism forwarded to the core (0 = GOMAXPROCS).
+	Workers int
+	// MaxResweepFraction is the dirty-event fraction above which Apply lets
+	// the core rebuild from scratch instead of splicing; non-positive means
+	// core.DefaultMaxResweepFraction.
+	MaxResweepFraction float64
+	// Enclosure optionally supplies the point-enclosure index over
+	// State.Circles (the one heatmap.Map already owns). It accelerates the
+	// affected-client search for facility insertions; it is consulted only
+	// when the batch leaves the client set and prior facilities untouched, so
+	// a stale index can never be misread. Nil falls back to a linear scan.
+	Enclosure enclosure.Index
+}
+
+// Stats describes the incremental work one Apply performed.
+type Stats struct {
+	// ChangedClients is the number of clients whose NN-circle changed
+	// (including removed and added ones).
+	ChangedClients int
+	// Rebuilt reports that the dirty fraction exceeded the threshold and the
+	// core ran a full sweep instead of splicing.
+	Rebuilt bool
+	// EventsTotal and EventsReswept are the core's resweep counters.
+	EventsTotal, EventsReswept int
+	// DirtyRect bounds, in original coordinates, everything the update could
+	// have changed: the union of the perturbed circles' bounding rectangles.
+	// Empty when the arrangement is unchanged. Tile caches invalidate against
+	// it.
+	DirtyRect geom.Rect
+	// Duration is the wall-clock time of the whole Apply.
+	Duration time.Duration
+}
+
+// Outcome is the result of one Apply: the new snapshot and the spliced
+// Region Coloring result (State.Labels aliases Result.Labels).
+type Outcome struct {
+	State  State
+	Result *core.Result
+	Stats  Stats
+}
+
+// Apply executes d against st and returns the updated snapshot, with labels
+// identical to what a from-scratch core.CREST over the updated sets would
+// produce. st is not modified.
+//
+// One caveat on exactness: when a client is equidistant from two facilities,
+// which one an NN query returns depends on k-d tree construction order, so
+// the NNCircle.Facility field of an unaffected client may differ from a
+// fresh nncircle.Compute after the facility set changed. The circle geometry
+// — and therefore every label, heat value and rendered pixel — is unaffected.
+func Apply(st State, d Delta, opts Options) (*Outcome, error) {
+	started := time.Now()
+	if !opts.Metric.Valid() {
+		return nil, fmt.Errorf("delta: invalid metric %v", opts.Metric)
+	}
+	if err := checkPoints(d.AddClients); err != nil {
+		return nil, err
+	}
+	if err := checkPoints(d.AddFacilities); err != nil {
+		return nil, err
+	}
+
+	clients := append([]geom.Point(nil), st.Clients...)
+	facilities := append([]geom.Point(nil), st.Facilities...)
+	circles := append([]nncircle.NNCircle(nil), st.Circles...)
+	var perturbed []geom.Circle
+	needsNN := make(map[int]bool)
+
+	// 1. Client removals.
+	for _, i := range d.RemoveClients {
+		if i < 0 || i >= len(clients) {
+			return nil, fmt.Errorf("%w: client index %d out of range [0, %d)", ErrBadDelta, i, len(clients))
+		}
+		if len(clients) == 1 {
+			return nil, fmt.Errorf("%w: removing the last client", ErrBadDelta)
+		}
+		perturbed = append(perturbed, circles[i].Circle)
+		last := len(clients) - 1
+		if i != last {
+			clients[i] = clients[last]
+			moved := circles[last]
+			moved.Client = i
+			circles[i] = moved
+			// The moved circle is geometrically unchanged but its client was
+			// renumbered, so every label naming it must be re-emitted.
+			perturbed = append(perturbed, moved.Circle)
+		}
+		clients = clients[:last]
+		circles = circles[:last]
+	}
+
+	// 2. Client additions: placeholder circles, resolved in step 5.
+	for _, p := range d.AddClients {
+		clients = append(clients, p)
+		circles = append(circles, nncircle.NNCircle{Client: len(circles)})
+		needsNN[len(circles)-1] = true
+	}
+
+	// 3. Facility removals: the clients the facility served must be
+	// re-assigned; clients of the swap-moved facility only get their index
+	// patched (their circle is unchanged).
+	for _, j := range d.RemoveFacilities {
+		if j < 0 || j >= len(facilities) {
+			return nil, fmt.Errorf("%w: facility index %d out of range [0, %d)", ErrBadDelta, j, len(facilities))
+		}
+		if len(facilities) == 1 {
+			return nil, fmt.Errorf("%w: removing the last facility", ErrBadDelta)
+		}
+		for ci := range circles {
+			if circles[ci].Facility == j {
+				needsNN[ci] = true
+			}
+		}
+		last := len(facilities) - 1
+		if j != last {
+			facilities[j] = facilities[last]
+			for ci := range circles {
+				if circles[ci].Facility == last {
+					circles[ci].Facility = j
+				}
+			}
+		}
+		facilities = facilities[:last]
+	}
+
+	// 4. Facility additions. A client's assignment can only change if the new
+	// facility lies inside (or on) its current NN-circle. The enclosure index
+	// answers that as a stabbing query, but only describes st.Circles; use it
+	// only when those circles are still current. Radii marked stale by an
+	// earlier addition in the same batch only over-approximate (circles never
+	// grow on insertion), which is safe.
+	useIndex := opts.Enclosure != nil &&
+		len(d.RemoveClients) == 0 && len(d.AddClients) == 0 && len(d.RemoveFacilities) == 0
+	for _, p := range d.AddFacilities {
+		facilities = append(facilities, p)
+		if useIndex {
+			for _, ci := range opts.Enclosure.Enclosing(p) {
+				needsNN[ci] = true
+			}
+			continue
+		}
+		for ci := range circles {
+			if needsNN[ci] {
+				continue
+			}
+			if opts.Metric.Distance(clients[ci], p) <= circles[ci].Circle.Radius {
+				needsNN[ci] = true
+			}
+		}
+	}
+
+	// 5. Re-assign the affected clients against the updated facility set,
+	// with exactly the k-d tree construction nncircle.Compute uses, so the
+	// updated circles match a from-scratch computation.
+	changed := 0
+	if len(needsNN) > 0 {
+		pts := make([]kdtree.Point, len(facilities))
+		for i, f := range facilities {
+			pts[i] = kdtree.Point{ID: i, P: f}
+		}
+		tree := kdtree.Build(pts)
+		for _, ci := range sortedKeys(needsNN) {
+			nb, ok := tree.Nearest(clients[ci], opts.Metric)
+			if !ok {
+				return nil, fmt.Errorf("%w: facility set is empty", ErrBadDelta)
+			}
+			next := nncircle.NNCircle{
+				Client:   ci,
+				Facility: nb.ID,
+				Circle:   geom.NewCircle(clients[ci], nb.Dist, opts.Metric),
+			}
+			if old := circles[ci]; old.Circle != next.Circle {
+				changed++
+				perturbed = append(perturbed, old.Circle, next.Circle)
+			}
+			circles[ci] = next
+		}
+	}
+	changed += len(d.RemoveClients)
+
+	coreOpts := core.Options{Measure: opts.Measure, Workers: opts.Workers}
+	out, err := core.Resweep(circles, coreOpts, st.Labels, perturbed, opts.MaxResweepFraction)
+	if err != nil {
+		return nil, fmt.Errorf("delta: %w", err)
+	}
+
+	dirty := geom.EmptyRect()
+	for _, c := range perturbed {
+		if c.Radius > 0 {
+			dirty = dirty.Union(c.BoundingRect())
+		}
+	}
+	return &Outcome{
+		State: State{
+			Clients:    clients,
+			Facilities: facilities,
+			Circles:    circles,
+			Labels:     out.Result.Labels,
+		},
+		Result: out.Result,
+		Stats: Stats{
+			ChangedClients: changed,
+			Rebuilt:        out.Rebuilt,
+			EventsTotal:    out.EventsTotal,
+			EventsReswept:  out.EventsReswept,
+			DirtyRect:      dirty,
+			Duration:       time.Since(started),
+		},
+	}, nil
+}
+
+func checkPoints(ps []geom.Point) error {
+	for i, p := range ps {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("%w: point %d is not finite", ErrBadDelta, i)
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

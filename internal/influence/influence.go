@@ -30,6 +30,22 @@ type Measure interface {
 	Influence(rnn *oset.Set) float64
 }
 
+// indexContextual is the marker implemented by measures whose context is
+// indexed by client or facility position (per-client weights, adjacency,
+// the capacity assignment). Such context goes stale when a set update
+// renumbers or extends the index space, so the incremental delta path must
+// refuse to carry these measures across updates.
+type indexContextual interface{ usesIndexContext() }
+
+// UsesIndexContext reports whether m closes over context indexed by client
+// or facility position. Measures for which it returns true (Weighted,
+// Connectivity, Capacity) cannot survive a client/facility set update and
+// must be reconstructed with fresh context instead.
+func UsesIndexContext(m Measure) bool {
+	_, ok := m.(indexContextual)
+	return ok
+}
+
 // sizeMeasure counts the members of the RNN set.
 type sizeMeasure struct{}
 
@@ -48,6 +64,8 @@ type weightedMeasure struct {
 // Weighted returns a measure that sums weights[o] over the RNN set members.
 // Members without a weight (index out of range) count as weight 1.
 func Weighted(weights []float64) Measure { return &weightedMeasure{weights: weights} }
+
+func (*weightedMeasure) usesIndexContext() {}
 
 func (*weightedMeasure) Name() string { return "weighted" }
 
@@ -80,6 +98,8 @@ func Connectivity(edges [][2]int) Measure {
 	}
 	return &connectivityMeasure{adjacency: adj}
 }
+
+func (*connectivityMeasure) usesIndexContext() {}
 
 func (*connectivityMeasure) Name() string { return "connectivity" }
 
@@ -142,6 +162,8 @@ func Capacity(ctx CapacityContext) Measure {
 	}
 	return m
 }
+
+func (*capacityMeasure) usesIndexContext() {}
 
 func (*capacityMeasure) Name() string { return "capacity" }
 

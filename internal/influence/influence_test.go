@@ -8,6 +8,28 @@ import (
 	"rnnheatmap/internal/oset"
 )
 
+// TestUsesIndexContext pins which measures the incremental delta path must
+// refuse to carry across set updates.
+func TestUsesIndexContext(t *testing.T) {
+	t.Parallel()
+	contextual := []Measure{
+		Weighted([]float64{1}),
+		Connectivity([][2]int{{0, 1}}),
+		Capacity(CapacityContext{Assignment: []int{0}}),
+	}
+	for _, m := range contextual {
+		if !UsesIndexContext(m) {
+			t.Errorf("UsesIndexContext(%s) = false, want true", m.Name())
+		}
+	}
+	free := []Measure{Size(), Gain(5), Func("custom", func(*oset.Set) float64 { return 0 })}
+	for _, m := range free {
+		if UsesIndexContext(m) {
+			t.Errorf("UsesIndexContext(%s) = true, want false", m.Name())
+		}
+	}
+}
+
 func TestSize(t *testing.T) {
 	m := Size()
 	if m.Name() != "size" {

@@ -21,6 +21,7 @@ func testCircles() []nncircle.NNCircle {
 }
 
 func TestHeatMapBasics(t *testing.T) {
+	t.Parallel()
 	r, err := HeatMap(testCircles(), Options{Width: 64, Height: 64})
 	if err != nil {
 		t.Fatal(err)
@@ -35,6 +36,7 @@ func TestHeatMapBasics(t *testing.T) {
 }
 
 func TestHeatMapMatchesOracle(t *testing.T) {
+	t.Parallel()
 	circles := testCircles()
 	r, err := HeatMap(circles, Options{Width: 40, Height: 40})
 	if err != nil {
@@ -61,6 +63,7 @@ func TestHeatMapMatchesOracle(t *testing.T) {
 }
 
 func TestHeatMapErrorsAndDefaults(t *testing.T) {
+	t.Parallel()
 	if _, err := HeatMap(nil, Options{}); err == nil {
 		t.Errorf("no circles should error")
 	}
@@ -83,6 +86,7 @@ func TestHeatMapErrorsAndDefaults(t *testing.T) {
 }
 
 func TestHeatMapWithMeasure(t *testing.T) {
+	t.Parallel()
 	weights := []float64{10, 1, 1}
 	r, err := HeatMap(testCircles(), Options{Width: 32, Height: 32, Measure: influence.Weighted(weights)})
 	if err != nil {
@@ -95,6 +99,7 @@ func TestHeatMapWithMeasure(t *testing.T) {
 }
 
 func TestSuperimposition(t *testing.T) {
+	t.Parallel()
 	a, err := Superimposition(testCircles(), Options{Width: 32, Height: 32})
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +116,7 @@ func TestSuperimposition(t *testing.T) {
 }
 
 func TestColorMaps(t *testing.T) {
+	t.Parallel()
 	if Grayscale(0).R != 255 || Grayscale(1).R != 0 {
 		t.Errorf("grayscale endpoints wrong")
 	}
@@ -129,6 +135,7 @@ func TestColorMaps(t *testing.T) {
 }
 
 func TestImageAndPNG(t *testing.T) {
+	t.Parallel()
 	r, err := HeatMap(testCircles(), Options{Width: 20, Height: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +162,7 @@ func TestImageAndPNG(t *testing.T) {
 }
 
 func TestPGMAndASCII(t *testing.T) {
+	t.Parallel()
 	r, err := HeatMap(testCircles(), Options{Width: 30, Height: 20})
 	if err != nil {
 		t.Fatal(err)
@@ -179,6 +187,7 @@ func TestPGMAndASCII(t *testing.T) {
 }
 
 func TestConstantRaster(t *testing.T) {
+	t.Parallel()
 	r := &Raster{Bounds: geom.Rect{MaxX: 1, MaxY: 1}, Width: 4, Height: 4, Values: make([]float64, 16)}
 	img := r.Image(Grayscale)
 	if img.RGBAAt(0, 0).R != 255 {
@@ -190,6 +199,7 @@ func TestConstantRaster(t *testing.T) {
 }
 
 func TestRendererSubRectMatchesFullRender(t *testing.T) {
+	t.Parallel()
 	circles := testCircles()
 	rd, err := NewRenderer(circles, nil, nil)
 	if err != nil {
@@ -229,6 +239,7 @@ func TestRendererSubRectMatchesFullRender(t *testing.T) {
 }
 
 func TestRendererMatchesHeatMap(t *testing.T) {
+	t.Parallel()
 	circles := testCircles()
 	viaHeatMap, err := HeatMap(circles, Options{Width: 48, Height: 48})
 	if err != nil {
@@ -250,6 +261,7 @@ func TestRendererMatchesHeatMap(t *testing.T) {
 }
 
 func TestRendererCallCounterAndErrors(t *testing.T) {
+	t.Parallel()
 	rd, err := NewRenderer(testCircles(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -278,6 +290,7 @@ func TestRendererCallCounterAndErrors(t *testing.T) {
 }
 
 func TestImageScaledFixedRange(t *testing.T) {
+	t.Parallel()
 	r := &Raster{Bounds: geom.Rect{MaxX: 2, MaxY: 1}, Width: 2, Height: 1, Values: []float64{1, 1}}
 	// Against its own min/max the constant raster is blank (v = 0 everywhere);
 	// against a fixed [0, 2] range both pixels sit at half intensity.

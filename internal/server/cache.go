@@ -6,6 +6,15 @@ import (
 	"sync"
 )
 
+// tileKey addresses one cached tile. The version is the map version the tile
+// was rendered from: mutation bumps the version, so a render that was already
+// in flight when the map swapped can only ever complete under its old key,
+// never poisoning the new version's cache.
+type tileKey struct {
+	version uint64
+	z, x, y int
+}
+
 // tileCache is a fixed-capacity LRU cache of encoded tiles with
 // single-flight de-duplication: when several requests miss on the same key
 // concurrently, one renders and the rest wait for its result instead of
@@ -14,8 +23,8 @@ type tileCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	inflight map[string]*flightCall
+	items    map[tileKey]*list.Element
+	inflight map[tileKey]*flightCall
 
 	hits, misses, waited uint64
 }
@@ -28,7 +37,7 @@ type tileData struct {
 }
 
 type cacheEntry struct {
-	key string
+	key tileKey
 	t   *tileData
 }
 
@@ -42,8 +51,8 @@ func newTileCache(capacity int) *tileCache {
 	return &tileCache{
 		capacity: capacity,
 		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*flightCall),
+		items:    make(map[tileKey]*list.Element),
+		inflight: make(map[tileKey]*flightCall),
 	}
 }
 
@@ -51,7 +60,7 @@ func newTileCache(capacity int) *tileCache {
 // The second return reports whether the tile came from the cache (a wait on
 // another request's in-flight render counts as a cache hit: nothing was
 // rendered on behalf of this caller).
-func (c *tileCache) get(key string, render func() (*tileData, error)) (*tileData, bool, error) {
+func (c *tileCache) get(key tileKey, render func() (*tileData, error)) (*tileData, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -96,6 +105,29 @@ func (c *tileCache) get(key string, render func() (*tileData, error)) (*tileData
 	}
 	c.mu.Unlock()
 	return call.t, false, call.err
+}
+
+// migrate carries the cache across a map swap: entries of version `from` for
+// which keep returns true are re-keyed to version `to` (preserving recency
+// order), everything else — dirty tiles, leftovers of older versions — is
+// dropped. In-flight renders are untouched: they complete under their old
+// version and age out.
+func (c *tileCache) migrate(from, to uint64, keep func(z, x, y int) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.version == from && keep(e.key.z, e.key.x, e.key.y) {
+			delete(c.items, e.key)
+			e.key.version = to
+			c.items[e.key] = el
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+	}
 }
 
 // stats returns the hit/miss/waited counters.

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"rnnheatmap/heatmap"
+)
+
+// The live mutation API. Every endpoint applies one heatmap.Delta through
+// ApplyDelta's copy-on-write path while holding the writer lock, builds the
+// derived snapshot state (renderer, tile grid, heat range, summary), migrates
+// the tile cache, and atomically publishes the new snapshot. Readers keep
+// serving the previous snapshot until the swap and are never blocked.
+//
+//	POST   /clients     {"points":[{"x":..,"y":..},...]}
+//	DELETE /clients     {"indexes":[i,...]}
+//	POST   /facilities  {"points":[{"x":..,"y":..},...]}
+//	DELETE /facilities  {"indexes":[j,...]}
+//
+// Removal indexes are applied sequentially with swap-remove semantics: each
+// index refers to the set as left by the preceding removals of the same
+// request, and the last element moves into the freed slot.
+
+// mutateRequest is the body of every mutation endpoint; points for POST,
+// indexes for DELETE.
+type mutateRequest struct {
+	Points  []pointJSON `json:"points,omitempty"`
+	Indexes []int       `json:"indexes,omitempty"`
+}
+
+// mutateResponse reports the applied update and the new map version.
+type mutateResponse struct {
+	Version        uint64   `json:"version"`
+	Clients        int      `json:"clients"`
+	Facilities     int      `json:"facilities"`
+	Regions        int      `json:"regions"`
+	MaxHeat        float64  `json:"max_heat"`
+	Rebuilt        bool     `json:"rebuilt"`
+	ChangedClients int      `json:"changed_clients"`
+	EventsTotal    int      `json:"events_total"`
+	EventsReswept  int      `json:"events_reswept"`
+	TilesRetained  int      `json:"tiles_retained"`
+	DirtyRect      rectJSON `json:"dirty_rect"`
+	DurationMS     float64  `json:"duration_ms"`
+}
+
+func (s *Server) handleAddClients(w http.ResponseWriter, r *http.Request) {
+	s.mutate(w, r, true, func(req *mutateRequest) heatmap.Delta {
+		return heatmap.Delta{AddClients: toPoints(req.Points)}
+	})
+}
+
+func (s *Server) handleRemoveClients(w http.ResponseWriter, r *http.Request) {
+	s.mutate(w, r, false, func(req *mutateRequest) heatmap.Delta {
+		return heatmap.Delta{RemoveClients: req.Indexes}
+	})
+}
+
+func (s *Server) handleAddFacilities(w http.ResponseWriter, r *http.Request) {
+	s.mutate(w, r, true, func(req *mutateRequest) heatmap.Delta {
+		return heatmap.Delta{AddFacilities: toPoints(req.Points)}
+	})
+}
+
+func (s *Server) handleRemoveFacilities(w http.ResponseWriter, r *http.Request) {
+	s.mutate(w, r, false, func(req *mutateRequest) heatmap.Delta {
+		return heatmap.Delta{RemoveFacilities: req.Indexes}
+	})
+}
+
+func toPoints(ps []pointJSON) []heatmap.Point {
+	out := make([]heatmap.Point, len(ps))
+	for i, p := range ps {
+		out[i] = heatmap.Pt(p.X, p.Y)
+	}
+	return out
+}
+
+// mutate decodes one mutation request, applies it and swaps the snapshot.
+// wantPoints selects which request field the endpoint consumes (points for
+// POST, indexes for DELETE).
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, wantPoints bool, toDelta func(*mutateRequest) heatmap.Delta) {
+	if !s.mutable {
+		writeError(w, http.StatusForbidden, "server is read-only; start heatmapd with -mutable to enable the mutation API")
+		return
+	}
+	var req mutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if wantPoints {
+		if len(req.Points) == 0 {
+			writeError(w, http.StatusBadRequest, "request has no points")
+			return
+		}
+		if len(req.Indexes) != 0 {
+			writeError(w, http.StatusBadRequest, "POST takes points, not indexes")
+			return
+		}
+		if len(req.Points) > s.maxBatch {
+			writeError(w, http.StatusBadRequest, "batch of %d points exceeds the limit of %d", len(req.Points), s.maxBatch)
+			return
+		}
+	} else {
+		if len(req.Indexes) == 0 {
+			writeError(w, http.StatusBadRequest, "request has no indexes")
+			return
+		}
+		if len(req.Points) != 0 {
+			writeError(w, http.StatusBadRequest, "DELETE takes indexes, not points")
+			return
+		}
+		if len(req.Indexes) > s.maxBatch {
+			writeError(w, http.StatusBadRequest, "batch of %d indexes exceeds the limit of %d", len(req.Indexes), s.maxBatch)
+			return
+		}
+	}
+
+	started := time.Now()
+	s.writeMu.Lock()
+	st := s.state()
+	next, stats, err := st.m.ApplyDelta(toDelta(&req))
+	if err != nil {
+		s.writeMu.Unlock()
+		if errors.Is(err, heatmap.ErrBadDelta) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "applying update: %v", err)
+		}
+		return
+	}
+	ns, err := newMapState(next, st.version+1)
+	if err != nil {
+		s.writeMu.Unlock()
+		writeError(w, http.StatusInternalServerError, "building map state: %v", err)
+		return
+	}
+	// Carry clean tiles over to the new version. If the tile grid moved (the
+	// data bounds changed) or the shared normalization range changed, every
+	// tile's bytes are suspect and the cache starts cold; otherwise only the
+	// tiles intersecting the update's dirty rectangle are dropped.
+	flushAll := ns.grid != st.grid || ns.heatLo != st.heatLo || ns.heatHi != st.heatHi
+	s.cache.migrate(st.version, ns.version, func(z, x, y int) bool {
+		return !flushAll && !st.grid.tileBounds(z, x, y).Intersects(stats.DirtyRect)
+	})
+	s.cur.Store(ns)
+	retained := s.cache.len()
+	s.writeMu.Unlock()
+
+	maxHeat, _ := next.MaxHeat()
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Version:        ns.version,
+		Clients:        next.NumClients(),
+		Facilities:     next.NumFacilities(),
+		Regions:        next.NumRegions(),
+		MaxHeat:        maxHeat,
+		Rebuilt:        stats.Rebuilt,
+		ChangedClients: stats.ChangedClients,
+		EventsTotal:    stats.EventsTotal,
+		EventsReswept:  stats.EventsReswept,
+		TilesRetained:  retained,
+		DirtyRect:      toRectJSON(stats.DirtyRect),
+		DurationMS:     float64(time.Since(started)) / float64(time.Millisecond),
+	})
+}

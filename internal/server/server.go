@@ -1,18 +1,27 @@
 // Package server implements heatmapd's HTTP layer: a long-running service
-// that owns one computed heatmap.Map and serves it to many readers. One
+// that owns a computed heatmap.Map and serves it to many readers. One
 // expensive Build is amortized across arbitrarily many cheap requests —
 // slippy-map raster tiles (GET /tiles/{z}/{x}/{y}.png), point and batched
 // influence queries (GET /heat, POST /heat/batch), region exploration
 // (GET /topk, GET /regions) and operational introspection (GET /healthz,
 // GET /stats).
 //
-// Tiles are rendered through the map's shared render.Renderer (the
-// point-enclosure index is built once), normalized against the map-wide heat
-// range so adjacent tiles shade consistently, and cached in a fixed-size LRU
-// with single-flight de-duplication: concurrent requests for the same cold
-// tile trigger exactly one render. Tile bytes depend only on the NN-circles
-// and the influence measure, so responses are byte-identical regardless of
-// how many workers swept the map.
+// A mutable server (Config.Mutable) additionally accepts live set updates —
+// POST/DELETE /clients and /facilities — applied through heatmap.ApplyDelta's
+// copy-on-write semantics: writers build a new map (resweeping only the dirty
+// part of the arrangement) and atomically swap it in, so readers never lock
+// and never observe a half-updated map. Each swap bumps the map version
+// reported by /stats and the mutation responses.
+//
+// Tiles are rendered through the current map's shared render.Renderer,
+// normalized against the map-wide heat range so adjacent tiles shade
+// consistently, and cached in a fixed-size LRU with single-flight
+// de-duplication keyed by map version. On a mutation, cached tiles that do
+// not intersect the update's dirty rectangle are carried over to the new
+// version; the rest are invalidated (the whole cache is, whenever the update
+// moved the tile grid or the normalization range). Tile bytes depend only on
+// the NN-circles and the influence measure, so responses are byte-identical
+// regardless of how many workers swept the map.
 package server
 
 import (
@@ -25,6 +34,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rnnheatmap/heatmap"
@@ -36,6 +47,9 @@ import (
 type Config struct {
 	// Map is the heat map to serve. Required.
 	Map *heatmap.Map
+	// Mutable enables the live mutation API (POST/DELETE /clients and
+	// /facilities). When false those endpoints answer 403.
+	Mutable bool
 	// TileSize is the tile edge length in pixels; 0 means 256.
 	TileSize int
 	// TileCacheSize is the LRU capacity in tiles; 0 means 512.
@@ -43,32 +57,59 @@ type Config struct {
 	// ColorMap renders tiles; nil means render.Grayscale (darker = hotter,
 	// as in the paper's figures).
 	ColorMap render.ColorMap
-	// MaxBatch caps the number of points accepted by POST /heat/batch;
-	// 0 means 10000.
+	// MaxBatch caps the number of points accepted by POST /heat/batch and the
+	// points/indexes accepted by one mutation request; 0 means 10000.
 	MaxBatch int
 	// MaxRegions caps the number of regions returned by GET /regions and
 	// GET /topk; 0 means 10000.
 	MaxRegions int
 }
 
-// Server serves one heat map over HTTP. It is an http.Handler; all state is
-// read-only after New except the tile cache and counters, so it is safe for
-// concurrent use.
-type Server struct {
-	m        *heatmap.Map
-	rd       *render.Renderer
-	grid     grid
-	tileSize int
-	cm       render.ColorMap
+// mapState is one immutable snapshot of the served map and everything
+// derived from it. Readers load the current snapshot once per request from
+// the server's atomic pointer; writers construct a fresh snapshot and swap.
+type mapState struct {
+	m       *heatmap.Map
+	rd      *render.Renderer
+	grid    grid
+	version uint64
 	// heatLo and heatHi are the map-wide heat range used to normalize every
 	// tile, so a region renders the same shade on whichever tile it lands.
 	heatLo, heatHi float64
 	// summary is the heat distribution over the labeled regions, immutable
-	// after Build and therefore computed once rather than per /stats poll.
-	summary    heatmap.Summary
+	// per snapshot and therefore computed once rather than per /stats poll.
+	summary heatmap.Summary
+}
+
+func newMapState(m *heatmap.Map, version uint64) (*mapState, error) {
+	rd, err := m.Renderer()
+	if err != nil {
+		return nil, err
+	}
+	st := &mapState{
+		m:       m,
+		rd:      rd,
+		grid:    newGrid(rd.Bounds()),
+		version: version,
+		summary: m.Summary(),
+	}
+	st.heatLo, st.heatHi = heatRange(m, st.summary)
+	return st, nil
+}
+
+// Server serves one heat map over HTTP. It is an http.Handler; readers are
+// lock-free against the current map snapshot, mutations are serialized by an
+// internal writer lock.
+type Server struct {
+	cur        atomic.Pointer[mapState]
+	writeMu    sync.Mutex // serializes ApplyDelta + swap + cache migration
+	mutable    bool
+	tileSize   int
+	cm         render.ColorMap
 	maxBatch   int
 	maxRegions int
 	cache      *tileCache
+	renders    atomic.Int64 // cumulative tile renders across all versions
 	mux        *http.ServeMux
 	started    time.Time
 }
@@ -77,10 +118,6 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Map == nil {
 		return nil, errors.New("server: Config.Map is required")
-	}
-	rd, err := cfg.Map.Renderer()
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
 	}
 	if cfg.TileSize == 0 {
 		cfg.TileSize = 256
@@ -100,10 +137,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxRegions <= 0 {
 		cfg.MaxRegions = 10000
 	}
+	st, err := newMapState(cfg.Map, 1)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
-		m:          cfg.Map,
-		rd:         rd,
-		grid:       newGrid(rd.Bounds()),
+		mutable:    cfg.Mutable,
 		tileSize:   cfg.TileSize,
 		cm:         cfg.ColorMap,
 		maxBatch:   cfg.MaxBatch,
@@ -112,8 +151,7 @@ func New(cfg Config) (*Server, error) {
 		mux:        http.NewServeMux(),
 		started:    time.Now(),
 	}
-	s.summary = cfg.Map.Summary()
-	s.heatLo, s.heatHi = heatRange(cfg.Map, s.summary)
+	s.cur.Store(st)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /heat", s.handleHeat)
@@ -122,8 +160,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /regions", s.handleRegions)
 	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
 	s.mux.HandleFunc("GET /tiles/{z}/{x}/{y}", s.handleTile)
+	s.mux.HandleFunc("POST /clients", s.handleAddClients)
+	s.mux.HandleFunc("DELETE /clients", s.handleRemoveClients)
+	s.mux.HandleFunc("POST /facilities", s.handleAddFacilities)
+	s.mux.HandleFunc("DELETE /facilities", s.handleRemoveFacilities)
 	return s, nil
 }
+
+// state returns the current map snapshot.
+func (s *Server) state() *mapState { return s.cur.Load() }
 
 // heatRange returns the fixed normalization range for tiles: from the
 // smaller of the empty-set heat and the coolest region to the map maximum.
@@ -145,12 +190,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Bounds returns the data bounds of the served map.
-func (s *Server) Bounds() heatmap.Rect { return s.rd.Bounds() }
+// Bounds returns the data bounds of the currently served map.
+func (s *Server) Bounds() heatmap.Rect { return s.state().rd.Bounds() }
 
-// RenderCalls returns how many tile renders have actually executed; warm
-// cache hits do not increment it. Exposed for tests and /stats.
-func (s *Server) RenderCalls() int64 { return s.rd.Calls() }
+// Version returns the current map version. It starts at 1 and increments
+// with every applied mutation.
+func (s *Server) Version() uint64 { return s.state().version }
+
+// RenderCalls returns how many tile renders have actually executed across
+// all map versions; warm cache hits do not increment it. Exposed for tests
+// and /stats.
+func (s *Server) RenderCalls() int64 { return s.renders.Load() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -178,15 +228,21 @@ func parseFloat(r *http.Request, name string) (float64, error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"regions": s.m.NumRegions(),
+		"regions": st.m.NumRegions(),
+		"version": st.version,
 	})
 }
 
 // statsResponse is the GET /stats payload.
 type statsResponse struct {
 	Measure       string      `json:"measure"`
+	Version       uint64      `json:"version"`
+	Mutable       bool        `json:"mutable"`
+	Clients       int         `json:"clients"`
+	Facilities    int         `json:"facilities"`
 	Regions       int         `json:"regions"`
 	MaxHeat       float64     `json:"max_heat"`
 	Bounds        rectJSON    `json:"bounds"`
@@ -205,7 +261,8 @@ type heatSummary struct {
 	MaxRNNSetSize int     `json:"max_rnn_set_size"`
 }
 
-// buildStats mirrors the core.Stats counters of the Region Coloring run.
+// buildStats mirrors the core.Stats counters of the Region Coloring run that
+// produced the current map version (a full build or the latest resweep).
 type buildStats struct {
 	Circles        int     `json:"circles"`
 	Events         int     `json:"events"`
@@ -236,15 +293,20 @@ func toRectJSON(r geom.Rect) rectJSON {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	cs := s.m.Stats()
-	maxHeat, _ := s.m.MaxHeat()
-	sum := s.summary
+	st := s.state()
+	cs := st.m.Stats()
+	maxHeat, _ := st.m.MaxHeat()
+	sum := st.summary
 	hits, misses, waited := s.cache.stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Measure:       s.m.MeasureName(),
-		Regions:       s.m.NumRegions(),
+		Measure:       st.m.MeasureName(),
+		Version:       st.version,
+		Mutable:       s.mutable,
+		Clients:       st.m.NumClients(),
+		Facilities:    st.m.NumFacilities(),
+		Regions:       st.m.NumRegions(),
 		MaxHeat:       maxHeat,
-		Bounds:        toRectJSON(s.rd.Bounds()),
+		Bounds:        toRectJSON(st.rd.Bounds()),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Build: buildStats{
 			Circles:        cs.Circles,
@@ -267,7 +329,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CacheHits:   hits,
 			CacheMisses: misses,
 			Coalesced:   waited,
-			Renders:     s.rd.Calls(),
+			Renders:     s.renders.Load(),
 		},
 	})
 }
@@ -298,7 +360,7 @@ func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	heat, rnn := s.m.HeatAt(heatmap.Pt(x, y))
+	heat, rnn := s.state().m.HeatAt(heatmap.Pt(x, y))
 	writeJSON(w, http.StatusOK, heatResponse{X: x, Y: y, Heat: heat, RNN: nonNil(rnn)})
 }
 
@@ -334,7 +396,7 @@ func (s *Server) handleHeatBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ps[i] = heatmap.Pt(p.X, p.Y)
 	}
-	heats, rnns := s.m.HeatAtBatch(ps)
+	heats, rnns := s.state().m.HeatAtBatch(ps)
 	results := make([]heatResponse, len(ps))
 	for i := range ps {
 		results[i] = heatResponse{X: ps[i].X, Y: ps[i].Y, Heat: heats[i], RNN: nonNil(rnns[i])}
@@ -379,7 +441,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if k > s.maxRegions {
 		k = s.maxRegions
 	}
-	regions := s.m.TopK(k)
+	regions := s.state().m.TopK(k)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"k":       k,
 		"regions": toRegionJSON(regions),
@@ -392,7 +454,7 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	regions := s.m.AboveThreshold(minHeat)
+	regions := s.state().m.AboveThreshold(minHeat)
 	total := len(regions)
 	truncated := false
 	if total > s.maxRegions {
@@ -419,7 +481,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 		}
 		bins = v
 	}
-	edges, counts := s.m.HeatHistogram(bins)
+	edges, counts := s.state().m.HeatHistogram(bins)
 	if edges == nil {
 		edges = []float64{}
 	}
@@ -446,18 +508,25 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "tile coordinates must be integers: /tiles/{z}/{x}/{y}.png")
 		return
 	}
-	if !s.grid.valid(z, x, y) {
+	st := s.state()
+	if !st.grid.valid(z, x, y) {
 		writeError(w, http.StatusNotFound, "tile %d/%d/%d outside the pyramid (zoom 0..%d, 2^z tiles per axis)", z, x, y, MaxZoom)
 		return
 	}
-	key := fmt.Sprintf("%d/%d/%d/%s", z, x, y, s.m.MeasureName())
-	t, _, err := s.cache.get(key, func() (*tileData, error) { return s.renderTile(z, x, y) })
+	key := tileKey{version: st.version, z: z, x: x, y: y}
+	t, _, err := s.cache.get(key, func() (*tileData, error) { return s.renderTile(st, z, x, y) })
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "rendering tile: %v", err)
 		return
 	}
 	w.Header().Set("ETag", t.etag)
-	w.Header().Set("Cache-Control", "public, max-age=3600")
+	if s.mutable {
+		// Mutations can invalidate any tile at any time; clients must
+		// revalidate (the ETag makes that a cheap 304 while the tile stands).
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Cache-Control", "public, max-age=3600")
+	}
 	if r.Header.Get("If-None-Match") == t.etag {
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -468,15 +537,17 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(t.png)
 }
 
-// renderTile rasterizes one tile, encodes it as PNG normalizing against the
-// map-wide heat range, and stamps the ETag once.
-func (s *Server) renderTile(z, x, y int) (*tileData, error) {
-	raster, err := s.rd.Render(s.grid.tileBounds(z, x, y), s.tileSize, s.tileSize)
+// renderTile rasterizes one tile of the given snapshot, encodes it as PNG
+// normalizing against the snapshot's map-wide heat range, and stamps the
+// ETag once.
+func (s *Server) renderTile(st *mapState, z, x, y int) (*tileData, error) {
+	raster, err := st.rd.Render(st.grid.tileBounds(z, x, y), s.tileSize, s.tileSize)
 	if err != nil {
 		return nil, err
 	}
+	s.renders.Add(1)
 	var buf bytes.Buffer
-	if err := raster.WritePNGScaled(&buf, s.cm, s.heatLo, s.heatHi); err != nil {
+	if err := raster.WritePNGScaled(&buf, s.cm, st.heatLo, st.heatHi); err != nil {
 		return nil, err
 	}
 	h := fnv.New64a()

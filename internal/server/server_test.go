@@ -54,6 +54,7 @@ func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
 }
 
 func TestHealthz(t *testing.T) {
+	t.Parallel()
 	s := newTestServer(t, 1)
 	rec := get(t, s, "/healthz")
 	if rec.Code != http.StatusOK {
@@ -74,6 +75,7 @@ func TestHealthz(t *testing.T) {
 // TestTileByteDeterminism asserts the acceptance criterion: the same tile is
 // byte-identical no matter how many workers swept the map.
 func TestTileByteDeterminism(t *testing.T) {
+	t.Parallel()
 	s1 := newTestServer(t, 1)
 	s4 := newTestServer(t, 4)
 	paths := []string{
@@ -99,6 +101,7 @@ func TestTileByteDeterminism(t *testing.T) {
 
 // TestTileCacheWarm asserts that a warm tile request does not re-render.
 func TestTileCacheWarm(t *testing.T) {
+	t.Parallel()
 	s := newTestServer(t, 1)
 	const path = "/tiles/2/1/1.png"
 
@@ -142,6 +145,7 @@ func TestTileCacheWarm(t *testing.T) {
 // TestTileSingleFlight asserts that concurrent cold requests for one tile
 // render it exactly once.
 func TestTileSingleFlight(t *testing.T) {
+	t.Parallel()
 	s := newTestServer(t, 1)
 	const path = "/tiles/3/2/4.png"
 	const n = 16
@@ -170,6 +174,7 @@ func TestTileSingleFlight(t *testing.T) {
 
 // TestBatchMatchesHeatAt asserts POST /heat/batch agrees with Map.HeatAt.
 func TestBatchMatchesHeatAt(t *testing.T) {
+	t.Parallel()
 	m := buildMap(t, 2)
 	s, err := New(Config{Map: m})
 	if err != nil {
@@ -228,6 +233,7 @@ func TestBatchMatchesHeatAt(t *testing.T) {
 
 // TestHeatMatchesHeatAt asserts GET /heat agrees with Map.HeatAt.
 func TestHeatMatchesHeatAt(t *testing.T) {
+	t.Parallel()
 	m := buildMap(t, 1)
 	s, err := New(Config{Map: m})
 	if err != nil {
@@ -252,6 +258,7 @@ func TestHeatMatchesHeatAt(t *testing.T) {
 }
 
 func TestTopKAndRegions(t *testing.T) {
+	t.Parallel()
 	m := buildMap(t, 1)
 	s, err := New(Config{Map: m})
 	if err != nil {
@@ -299,6 +306,7 @@ func TestTopKAndRegions(t *testing.T) {
 
 // TestBadRequests covers the 4xx paths.
 func TestBadRequests(t *testing.T) {
+	t.Parallel()
 	s := newTestServer(t, 1)
 	cases := []struct {
 		name   string
@@ -346,6 +354,7 @@ func TestBadRequests(t *testing.T) {
 
 // TestStatsCounters asserts /stats reflects tile cache activity.
 func TestStatsCounters(t *testing.T) {
+	t.Parallel()
 	s := newTestServer(t, 1)
 	get(t, s, "/tiles/1/0/0.png")
 	get(t, s, "/tiles/1/0/0.png")
@@ -370,6 +379,7 @@ func TestStatsCounters(t *testing.T) {
 
 // TestTileCacheEviction asserts the LRU stays within capacity.
 func TestTileCacheEviction(t *testing.T) {
+	t.Parallel()
 	m := buildMap(t, 1)
 	s, err := New(Config{Map: m, TileSize: 32, TileCacheSize: 4})
 	if err != nil {
@@ -394,6 +404,7 @@ func TestTileCacheEviction(t *testing.T) {
 
 // TestHistogram asserts GET /histogram agrees with Map.HeatHistogram.
 func TestHistogram(t *testing.T) {
+	t.Parallel()
 	m := buildMap(t, 1)
 	s, err := New(Config{Map: m})
 	if err != nil {

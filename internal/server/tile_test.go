@@ -7,6 +7,7 @@ import (
 )
 
 func TestGridWorldIsCenteredSquare(t *testing.T) {
+	t.Parallel()
 	g := newGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 40})
 	if w, h := g.world.Width(), g.world.Height(); w != h || w != 100 {
 		t.Fatalf("world = %v, want a 100x100 square", g.world)
@@ -17,6 +18,7 @@ func TestGridWorldIsCenteredSquare(t *testing.T) {
 }
 
 func TestGridTileBounds(t *testing.T) {
+	t.Parallel()
 	g := newGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8})
 	if got := g.tileBounds(0, 0, 0); got != g.world {
 		t.Fatalf("tile 0/0/0 = %v, want the whole world %v", got, g.world)
@@ -35,6 +37,7 @@ func TestGridTileBounds(t *testing.T) {
 }
 
 func TestGridValid(t *testing.T) {
+	t.Parallel()
 	g := newGrid(geom.Rect{MaxX: 1, MaxY: 1})
 	cases := []struct {
 		z, x, y int
