@@ -7,13 +7,23 @@
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH.json
 //	jq -r '.benchmarks[].line' BENCH.json | benchstat /dev/stdin
+//
+// With -compare it instead gates performance regressions between two such
+// documents: benchmarks (matched by -bench) whose ns/op grew by more than
+// -max-regress percent, or that disappeared, fail the comparison and exit
+// nonzero. CI runs it against the committed baseline on every PR:
+//
+//	go run ./cmd/benchjson -compare -bench 'ApplyDelta|TileServe' -max-regress 20 OLD.json NEW.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -41,8 +51,39 @@ type document struct {
 }
 
 func main() {
+	var (
+		compareMode = flag.Bool("compare", false, "compare two benchjson documents (args: OLD.json NEW.json) instead of converting stdin")
+		benchRE     = flag.String("bench", ".", "in -compare mode, regexp selecting the benchmarks the gate applies to")
+		maxRegress  = flag.Float64("max-regress", 20, "in -compare mode, fail when ns/op grew by more than this percentage")
+	)
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare takes exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		ok, err := compareFiles(flag.Arg(0), flag.Arg(1), *benchRE, *maxRegress, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// convert parses `go test -bench` output from r and writes the JSON
+// document to w.
+func convert(r io.Reader, w io.Writer) error {
 	doc := document{Benchmarks: []result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -62,15 +103,11 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
-		os.Exit(1)
+		return fmt.Errorf("reading input: %w", err)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(doc)
 }
 
 // parseLine parses one benchmark result line: a name, an iteration count,
@@ -93,4 +130,109 @@ func parseLine(line string) (result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// readDocument loads one benchjson document from disk.
+func readDocument(path string) (*document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// procsSuffixRE matches the "-<GOMAXPROCS>" suffix the Go benchmark harness
+// appends to every benchmark name when GOMAXPROCS != 1.
+var procsSuffixRE = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the -GOMAXPROCS suffix so runs from machines with
+// different core counts (a 1-CPU baseline box vs a 4-vCPU CI runner) compare
+// by the benchmark's identity rather than its hardware. Sub-benchmark path
+// components like "/workers=4" are untouched (no leading dash).
+func normalizeName(name string) string {
+	return procsSuffixRE.ReplaceAllString(name, "")
+}
+
+// compareFiles gates new against old: every old benchmark matching pattern
+// must still exist in new, and its ns/op must not have grown by more than
+// maxRegress percent. Names are compared modulo the -GOMAXPROCS suffix. It
+// prints one line per compared benchmark and returns whether the gate
+// passed.
+func compareFiles(oldPath, newPath, pattern string, maxRegress float64, w io.Writer) (bool, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return false, fmt.Errorf("bad -bench pattern: %w", err)
+	}
+	oldDoc, err := readDocument(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := readDocument(newPath)
+	if err != nil {
+		return false, err
+	}
+	newByName := make(map[string]result, len(newDoc.Benchmarks))
+	for _, r := range newDoc.Benchmarks {
+		newByName[normalizeName(r.Name)] = r
+	}
+	ok := true
+	compared := 0
+	oldNames := make(map[string]bool, len(oldDoc.Benchmarks))
+	for _, old := range oldDoc.Benchmarks {
+		name := normalizeName(old.Name)
+		oldNames[name] = true
+		if !re.MatchString(name) {
+			continue
+		}
+		oldNs, has := old.Metrics["ns/op"]
+		if !has {
+			continue
+		}
+		cur, exists := newByName[name]
+		if !exists {
+			fmt.Fprintf(w, "FAIL  %-60s missing from %s\n", name, newPath)
+			ok = false
+			continue
+		}
+		newNs, has := cur.Metrics["ns/op"]
+		if !has {
+			fmt.Fprintf(w, "FAIL  %-60s has no ns/op in %s\n", name, newPath)
+			ok = false
+			continue
+		}
+		compared++
+		deltaPct := (newNs - oldNs) / oldNs * 100
+		status := "ok  "
+		if deltaPct > maxRegress {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s  %-60s %14.0f -> %14.0f ns/op  %+7.1f%% (limit +%.0f%%)\n",
+			status, name, oldNs, newNs, deltaPct, maxRegress)
+	}
+	// A gated benchmark present only in the new run has no baseline to be
+	// judged against — it would stay unguarded forever if the gate passed
+	// silently. Fail loudly so the baseline gets refreshed alongside it.
+	for _, cur := range newDoc.Benchmarks {
+		name := normalizeName(cur.Name)
+		if oldNames[name] || !re.MatchString(name) {
+			continue
+		}
+		if _, has := cur.Metrics["ns/op"]; !has {
+			continue
+		}
+		fmt.Fprintf(w, "FAIL  %-60s not in baseline %s: refresh the baseline to gate it\n", name, oldPath)
+		ok = false
+	}
+	if compared == 0 && ok {
+		// A gate that silently matched nothing would pass forever; make the
+		// misconfiguration loud instead.
+		fmt.Fprintf(w, "FAIL  pattern %q matched no benchmark with ns/op in %s\n", pattern, oldPath)
+		ok = false
+	}
+	return ok, nil
 }

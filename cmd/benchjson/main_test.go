@@ -1,0 +1,282 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		line string
+		want result
+		ok   bool
+	}{
+		{
+			name: "ns/op only",
+			line: "BenchmarkApplyDelta/n=20000-8   3   4521876 ns/op",
+			want: result{
+				Name: "BenchmarkApplyDelta/n=20000-8", Runs: 3,
+				Metrics: map[string]float64{"ns/op": 4521876},
+				Line:    "BenchmarkApplyDelta/n=20000-8   3   4521876 ns/op",
+			},
+			ok: true,
+		},
+		{
+			name: "benchmem metrics",
+			line: "BenchmarkTileServe-8  1000  85432 ns/op  12345 B/op  67 allocs/op",
+			want: result{
+				Name: "BenchmarkTileServe-8", Runs: 1000,
+				Metrics: map[string]float64{"ns/op": 85432, "B/op": 12345, "allocs/op": 67},
+				Line:    "BenchmarkTileServe-8  1000  85432 ns/op  12345 B/op  67 allocs/op",
+			},
+			ok: true,
+		},
+		{
+			name: "custom metric",
+			line: "BenchmarkCRESTParallel/workers=4-8 3 912345678 ns/op 3.25 speedup",
+			want: result{
+				Name: "BenchmarkCRESTParallel/workers=4-8", Runs: 3,
+				Metrics: map[string]float64{"ns/op": 912345678, "speedup": 3.25},
+				Line:    "BenchmarkCRESTParallel/workers=4-8 3 912345678 ns/op 3.25 speedup",
+			},
+			ok: true,
+		},
+		{name: "too few fields", line: "BenchmarkX 3 100", ok: false},
+		{name: "non-numeric runs", line: "BenchmarkX three 100 ns/op", ok: false},
+		{name: "non-numeric value", line: "BenchmarkX 3 fast ns/op", ok: false},
+		{name: "empty", line: "", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(""), &out); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	var doc document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Benchmarks == nil || len(doc.Benchmarks) != 0 {
+		t.Errorf("empty input produced %+v, want an empty (non-null) benchmark list", doc.Benchmarks)
+	}
+}
+
+// TestConvertGoldenRoundTrip feeds a realistic `go test -bench` transcript —
+// including noise lines, a partial line and PASS/ok trailers — and checks
+// the document reproduces exactly the valid benchmark lines.
+func TestConvertGoldenRoundTrip(t *testing.T) {
+	t.Parallel()
+	input := `goos: linux
+goarch: amd64
+pkg: rnnheatmap
+cpu: AMD EPYC 7B13
+BenchmarkApplyDelta/n=20000/add-client-8         	       3	  4096216 ns/op	 1745632 B/op	   12045 allocs/op
+BenchmarkApplyDelta/n=20000/rebuild-8            	       3	 52019heat ns/op
+BenchmarkTileServe/cold-8                        	     100	   913542 ns/op
+some stray runtime output
+BenchmarkCRESTParallel/n=100k/workers=8-8        	       3	291846125 ns/op	       3.470 speedup
+BenchmarkTruncated-8
+PASS
+ok  	rnnheatmap	142.551s
+`
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(input), &out); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	var doc document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding output: %v", err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "rnnheatmap" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %s/%s/%s/%s", doc.Goos, doc.Goarch, doc.Pkg, doc.CPU)
+	}
+	wantNames := []string{
+		"BenchmarkApplyDelta/n=20000/add-client-8",
+		"BenchmarkTileServe/cold-8",
+		"BenchmarkCRESTParallel/n=100k/workers=8-8",
+	}
+	if len(doc.Benchmarks) != len(wantNames) {
+		t.Fatalf("parsed %d benchmarks, want %d (%+v)", len(doc.Benchmarks), len(wantNames), doc.Benchmarks)
+	}
+	for i, want := range wantNames {
+		if doc.Benchmarks[i].Name != want {
+			t.Errorf("benchmark %d = %q, want %q", i, doc.Benchmarks[i].Name, want)
+		}
+	}
+	// The raw line survives verbatim (benchstat reconstruction contract).
+	if !strings.Contains(doc.Benchmarks[0].Line, "1745632 B/op") {
+		t.Errorf("raw line not preserved: %q", doc.Benchmarks[0].Line)
+	}
+	if got := doc.Benchmarks[2].Metrics["speedup"]; got != 3.470 {
+		t.Errorf("custom metric speedup = %v, want 3.47", got)
+	}
+}
+
+// writeDoc writes a minimal benchjson document for the compare tests.
+func writeDoc(t *testing.T, path string, nsByName map[string]float64) {
+	t.Helper()
+	doc := document{}
+	for name, ns := range nsByName {
+		doc.Benchmarks = append(doc.Benchmarks, result{
+			Name: name, Runs: 3, Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareFiles(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	writeDoc(t, oldPath, map[string]float64{
+		"BenchmarkApplyDelta-8":    1000,
+		"BenchmarkTileServe-8":     2000,
+		"BenchmarkCRESTParallel-8": 3000,
+		"BenchmarkUnrelated-8":     50,
+	})
+
+	t.Run("pass within limit", func(t *testing.T) {
+		newPath := filepath.Join(dir, "ok.json")
+		writeDoc(t, newPath, map[string]float64{
+			"BenchmarkApplyDelta-8":    1100, // +10%
+			"BenchmarkTileServe-8":     1500, // faster
+			"BenchmarkCRESTParallel-8": 3590, // +19.7%
+			"BenchmarkUnrelated-8":     500,  // 10x, but not matched
+		})
+		var out bytes.Buffer
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("gate failed:\n%s", out.String())
+		}
+	})
+
+	t.Run("fails on regression", func(t *testing.T) {
+		newPath := filepath.Join(dir, "slow.json")
+		writeDoc(t, newPath, map[string]float64{
+			"BenchmarkApplyDelta-8":    1300, // +30% > 20%
+			"BenchmarkTileServe-8":     2000,
+			"BenchmarkCRESTParallel-8": 3000,
+		})
+		var out bytes.Buffer
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("gate passed despite a 30%% regression:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "BenchmarkApplyDelta") {
+			t.Errorf("report does not name the regression:\n%s", out.String())
+		}
+	})
+
+	t.Run("fails on missing benchmark", func(t *testing.T) {
+		newPath := filepath.Join(dir, "missing.json")
+		writeDoc(t, newPath, map[string]float64{
+			"BenchmarkApplyDelta-8": 1000,
+			"BenchmarkTileServe-8":  2000,
+		})
+		var out bytes.Buffer
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("gate passed although BenchmarkCRESTParallel disappeared")
+		}
+	})
+
+	t.Run("fails when pattern matches nothing", func(t *testing.T) {
+		var out bytes.Buffer
+		ok, err := compareFiles(oldPath, oldPath, "NoSuchBenchmark", 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("vacuous gate passed")
+		}
+	})
+
+	t.Run("bad pattern errors", func(t *testing.T) {
+		if _, err := compareFiles(oldPath, oldPath, "(", 20, io.Discard); err == nil {
+			t.Error("bad regexp accepted")
+		}
+	})
+
+	t.Run("fails on gated benchmark absent from baseline", func(t *testing.T) {
+		newPath := filepath.Join(dir, "extra.json")
+		writeDoc(t, newPath, map[string]float64{
+			"BenchmarkApplyDelta-8":    1000,
+			"BenchmarkTileServe-8":     2000,
+			"BenchmarkCRESTParallel-8": 3000,
+			"BenchmarkTileServe/new-8": 50, // gated family, no baseline entry
+		})
+		var out bytes.Buffer
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("gate passed although a gated benchmark has no baseline:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "not in baseline") {
+			t.Errorf("report does not flag the unguarded benchmark:\n%s", out.String())
+		}
+	})
+
+	t.Run("matches across GOMAXPROCS suffixes", func(t *testing.T) {
+		// A 1-CPU baseline carries no -procs suffix; a multi-core CI runner
+		// emits one. The gate must compare them as the same benchmark.
+		basePath := filepath.Join(dir, "oneCPU.json")
+		writeDoc(t, basePath, map[string]float64{
+			"BenchmarkApplyDelta/n=5000/add-client": 1000,
+			"BenchmarkCRESTParallel/workers=1":      3000,
+		})
+		newPath := filepath.Join(dir, "fourCPU.json")
+		writeDoc(t, newPath, map[string]float64{
+			"BenchmarkApplyDelta/n=5000/add-client-4": 1050,
+			"BenchmarkCRESTParallel/workers=1-4":      3100,
+		})
+		var out bytes.Buffer
+		ok, err := compareFiles(basePath, newPath, "ApplyDelta|CRESTParallel", 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("suffix-mismatched runs failed the gate:\n%s", out.String())
+		}
+		if strings.Contains(out.String(), "missing") {
+			t.Errorf("suffixed benchmarks reported missing:\n%s", out.String())
+		}
+	})
+}

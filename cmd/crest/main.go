@@ -1,11 +1,16 @@
 // Command crest builds an RNN heat map from CSV point files or one of the
 // built-in data set generators and writes it as a PNG image, optionally
-// printing the top-k most influential regions.
+// printing the top-k most influential regions. A built map can be saved as
+// a binary snapshot (-save-snapshot) and later re-opened in milliseconds
+// (-load-snapshot) — by crest itself or by heatmapd's -snapshot-dir/-load —
+// without re-running the sweep.
 //
 // Examples:
 //
 //	crest -dataset NYC -clients 20000 -facilities 6000 -metric l2 -png nyc.png
 //	crest -clients-csv clients.csv -facilities-csv facilities.csv -metric l1 -topk 5
+//	crest -dataset NYC -clients 100000 -facilities 30000 -save-snapshot nyc.snap
+//	crest -load-snapshot nyc.snap -png nyc.png -topk 10
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"rnnheatmap/heatmap"
 	"rnnheatmap/internal/dataset"
@@ -38,40 +44,68 @@ func main() {
 		ascii         = flag.Bool("ascii", false, "print an ASCII preview of the heat map")
 		seed          = flag.Int64("seed", 1, "random seed for sampling")
 		workers       = flag.Int("workers", 0, "parallel sweep strips (0 = one per CPU, 1 = sequential)")
+		saveSnapshot  = flag.String("save-snapshot", "", "write the built map to this snapshot file")
+		loadSnapshot  = flag.String("load-snapshot", "", "load the map from this snapshot file instead of building")
 	)
 	flag.Parse()
 
-	metric, err := parseMetric(*metricName)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	clients, facilities, err := loadPoints(*dsName, *clientsN, *facilitiesN, *clientsCSV, *facilitiesCSV, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	m, err := heatmap.Build(heatmap.Config{
-		Clients:    clients,
-		Facilities: facilities,
-		Metric:     metric,
-		Algorithm:  heatmap.Algorithm(*algorithm),
-		Workers:    *workers,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var m *heatmap.Map
+	// mapVersion rides along to -save-snapshot: a freshly built map is
+	// version 1, but a re-saved server snapshot must keep its version or the
+	// lineage (and any WAL beside it) diverges.
+	mapVersion := uint64(1)
+	if *loadSnapshot != "" {
+		// The snapshot fixes the workload and configuration; build flags
+		// would be silently meaningless, so call that out.
+		buildFlags := map[string]bool{
+			"dataset": true, "clients": true, "facilities": true,
+			"clients-csv": true, "facilities-csv": true, "metric": true,
+			"algorithm": true, "seed": true, "workers": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if buildFlags[f.Name] {
+				log.Printf("warning: -%s is ignored with -load-snapshot (the snapshot fixes the workload and configuration)", f.Name)
+			}
+		})
+		start := time.Now()
+		var err error
+		m, mapVersion, err = heatmap.LoadSnapshot(*loadSnapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot %s loaded in %v: %d clients, %d facilities, version %d\n",
+			*loadSnapshot, time.Since(start).Round(time.Microsecond), m.NumClients(), m.NumFacilities(), mapVersion)
+	} else {
+		metric, err := heatmap.ParseMetric(*metricName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients, facilities, err := loadPoints(*dsName, *clientsN, *facilitiesN, *clientsCSV, *facilitiesCSV, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = heatmap.Build(heatmap.Config{
+			Clients:    clients,
+			Facilities: facilities,
+			Metric:     metric,
+			Algorithm:  heatmap.Algorithm(*algorithm),
+			Workers:    *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		effWorkers := *workers
+		if effWorkers <= 0 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
+		if *algorithm == string(heatmap.AlgBaseline) {
+			effWorkers = 1 // the grid baseline always runs sequentially
+		}
+		fmt.Printf("clients=%d facilities=%d metric=%s algorithm=%s workers=%d\n",
+			len(clients), len(facilities), metric, *algorithm, effWorkers)
 	}
 
 	stats := m.Stats()
-	effWorkers := *workers
-	if effWorkers <= 0 {
-		effWorkers = runtime.GOMAXPROCS(0)
-	}
-	if *algorithm == string(heatmap.AlgBaseline) {
-		effWorkers = 1 // the grid baseline always runs sequentially
-	}
-	fmt.Printf("clients=%d facilities=%d metric=%s algorithm=%s workers=%d\n",
-		len(clients), len(facilities), metric, *algorithm, effWorkers)
 	fmt.Printf("regions labeled: %d  events: %d  max RNN set size: %d  time: %v\n",
 		stats.Labelings, stats.Events, stats.MaxRNNSetSize, stats.Duration)
 
@@ -100,18 +134,13 @@ func main() {
 		}
 		fmt.Printf("\nheat map written to %s\n", *pngPath)
 	}
-}
 
-func parseMetric(name string) (heatmap.Metric, error) {
-	switch strings.ToLower(name) {
-	case "linf", "l∞", "chebyshev":
-		return heatmap.LInf, nil
-	case "l1", "manhattan":
-		return heatmap.L1, nil
-	case "l2", "euclidean":
-		return heatmap.L2, nil
-	default:
-		return 0, fmt.Errorf("unknown metric %q (want linf, l1 or l2)", name)
+	if *saveSnapshot != "" {
+		start := time.Now()
+		if err := m.SaveSnapshot(*saveSnapshot, mapVersion); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsnapshot written to %s in %v\n", *saveSnapshot, time.Since(start).Round(time.Microsecond))
 	}
 }
 

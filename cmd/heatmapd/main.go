@@ -1,15 +1,21 @@
-// Command heatmapd is a long-running HTTP server over an RNN heat map: it
-// builds (or loads from CSV) the map once at startup, then serves raster
-// tiles, influence queries, top-k and threshold exploration, health and
-// stats until shut down. With -mutable it also accepts live client/facility
-// insertions and deletions, applied incrementally with a copy-on-write map
-// swap. See internal/server for the endpoint reference.
+// Command heatmapd is a long-running, multi-tenant HTTP server over RNN heat
+// maps: it builds (or loads from CSV or a snapshot) the default map once at
+// startup, then serves raster tiles, influence queries, top-k and threshold
+// exploration, health and stats until shut down — for the default map and
+// for any further maps created through POST /maps. With -mutable it also
+// accepts live client/facility insertions and deletions, applied
+// incrementally with a copy-on-write map swap. With -snapshot-dir the
+// registry is durable: maps are saved as binary snapshots, mutations are
+// write-ahead logged, and -load restores everything on restart without
+// re-running CREST. See internal/server for the endpoint reference.
 //
 // Examples:
 //
 //	heatmapd -dataset NYC -clients 5000 -facilities 1500 -metric l2 -addr :8080
 //	heatmapd -clients-csv o.csv -facilities-csv f.csv -measure capacity -cap 25
 //	heatmapd -dataset NYC -mutable       # enable POST/DELETE /clients, /facilities
+//	heatmapd -mutable -snapshot-dir /var/lib/heatmapd -save-every 30s
+//	heatmapd -mutable -snapshot-dir /var/lib/heatmapd -load   # resume after restart
 //
 // Then:
 //
@@ -17,6 +23,8 @@
 //	curl localhost:8080/heat?x=-73.985\&y=40.755    # NYC is (lon, lat)
 //	curl -o tile.png localhost:8080/tiles/3/4/2.png
 //	curl -X POST localhost:8080/facilities -d '{"points":[{"x":-73.985,"y":40.755}]}'
+//	curl localhost:8080/maps
+//	curl -X POST localhost:8080/maps/default/snapshot
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"rnnheatmap/internal/dataset"
 	"rnnheatmap/internal/render"
 	"rnnheatmap/internal/server"
+	"rnnheatmap/internal/snapshot"
 )
 
 func main() {
@@ -59,6 +68,9 @@ func main() {
 		tileCache     = flag.Int("tile-cache", 512, "LRU tile cache capacity (tiles)")
 		colorMapName  = flag.String("colormap", "gray", "tile color map: gray or inferno")
 		mutable       = flag.Bool("mutable", false, "enable the live mutation API (POST/DELETE /clients and /facilities)")
+		snapshotDir   = flag.String("snapshot-dir", "", "persist maps (snapshots + mutation WAL) in this directory")
+		load          = flag.Bool("load", false, "restore maps from -snapshot-dir at startup, replaying each WAL (skips the build when a default snapshot exists)")
+		saveEvery     = flag.Duration("save-every", 0, "autosave dirty maps to -snapshot-dir at this interval (0 = only on shutdown and explicit POST /maps/{name}/snapshot)")
 	)
 	flag.Parse()
 
@@ -68,7 +80,7 @@ func main() {
 		measureName: *measureName, capPer: *capPer, capNew: *capNew,
 		workers: *workers, seed: *seed,
 		tileSize: *tileSize, tileCache: *tileCache, colorMapName: *colorMapName,
-		mutable: *mutable,
+		mutable: *mutable, snapshotDir: *snapshotDir, load: *load, saveEvery: *saveEvery,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -86,48 +98,41 @@ type config struct {
 	tileSize, tileCache       int
 	colorMapName              string
 	mutable                   bool
+	snapshotDir               string
+	load                      bool
+	saveEvery                 time.Duration
 }
 
 func run(cfg config) error {
-	metric, err := parseMetric(cfg.metricName)
-	if err != nil {
-		return err
-	}
 	cm, err := parseColorMap(cfg.colorMapName)
 	if err != nil {
 		return err
 	}
-	clients, facilities, err := loadPoints(cfg)
-	if err != nil {
-		return err
+	if cfg.load && cfg.snapshotDir == "" {
+		return fmt.Errorf("-load requires -snapshot-dir")
 	}
-	measure, err := buildMeasure(cfg, clients, facilities, metric)
-	if err != nil {
-		return err
-	}
-	if cfg.mutable && strings.ToLower(cfg.measureName) == "capacity" {
-		// The capacity measure closes over the client -> facility assignment
-		// computed at startup; live set updates would silently evaluate heat
-		// against a stale assignment.
-		return fmt.Errorf("-mutable is incompatible with -measure capacity (the assignment context would go stale)")
+	if cfg.saveEvery < 0 || (cfg.saveEvery > 0 && cfg.snapshotDir == "") {
+		return fmt.Errorf("-save-every requires -snapshot-dir and a non-negative interval")
 	}
 
-	log.Printf("building heat map: %d clients, %d facilities, metric=%s measure=%s workers=%d",
-		len(clients), len(facilities), metric, measure.Name(), cfg.workers)
-	start := time.Now()
-	m, err := heatmap.Build(heatmap.Config{
-		Clients:    clients,
-		Facilities: facilities,
-		Metric:     metric,
-		Measure:    measure,
-		Workers:    cfg.workers,
-	})
-	if err != nil {
-		return err
+	// With -load and a default snapshot on disk, the expensive Build is
+	// skipped entirely: the server restores every map (snapshot + WAL replay)
+	// itself, in milliseconds.
+	var m *heatmap.Map
+	switch {
+	case cfg.load && snapshotExists(cfg.snapshotDir, server.DefaultMapName):
+		log.Printf("loading maps from %s (skipping the build)", cfg.snapshotDir)
+	case !cfg.load && cfg.snapshotDir != "" && snapshotExists(cfg.snapshotDir, server.DefaultMapName):
+		// Registering a freshly built default map would overwrite the
+		// snapshot and clear its WAL — every durably acknowledged mutation
+		// of the previous run. A forgotten -load must not do that silently.
+		return fmt.Errorf("%s already holds a %q map snapshot; pass -load to restore it, or point -snapshot-dir at a fresh directory (refusing to overwrite durable state)",
+			cfg.snapshotDir, server.DefaultMapName)
+	default:
+		if m, err = buildInitialMap(cfg); err != nil {
+			return err
+		}
 	}
-	maxHeat, _ := m.MaxHeat()
-	log.Printf("built in %v: %d regions, max heat %.2f, bounds %v",
-		time.Since(start).Round(time.Millisecond), m.NumRegions(), maxHeat, m.Bounds())
 
 	srv, err := server.New(server.Config{
 		Map:           m,
@@ -135,12 +140,17 @@ func run(cfg config) error {
 		TileSize:      cfg.tileSize,
 		TileCacheSize: cfg.tileCache,
 		ColorMap:      cm,
+		SnapshotDir:   cfg.snapshotDir,
+		Load:          cfg.load,
 	})
 	if err != nil {
 		return err
 	}
 	if cfg.mutable {
 		log.Printf("mutation API enabled: POST/DELETE /clients and /facilities")
+	}
+	if cfg.snapshotDir != "" {
+		log.Printf("persisting maps to %s (autosave %v)", cfg.snapshotDir, cfg.saveEvery)
 	}
 
 	httpSrv := &http.Server{
@@ -153,6 +163,23 @@ func run(cfg config) error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s (tiles %dpx, cache %d tiles)", cfg.addr, cfg.tileSize, cfg.tileCache)
+
+	if cfg.saveEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(cfg.saveEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := srv.SaveAll(); err != nil {
+						log.Printf("autosave: %v", err)
+					}
+				}
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -168,7 +195,58 @@ func run(cfg config) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// Persist dirty maps and close the WALs once no request is in flight.
+	if err := srv.Close(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// buildInitialMap loads the point sets and builds the default map from the
+// command-line configuration.
+func buildInitialMap(cfg config) (*heatmap.Map, error) {
+	metric, err := heatmap.ParseMetric(cfg.metricName)
+	if err != nil {
+		return nil, err
+	}
+	clients, facilities, err := loadPoints(cfg)
+	if err != nil {
+		return nil, err
+	}
+	measure, err := buildMeasure(cfg, clients, facilities, metric)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.mutable && strings.ToLower(cfg.measureName) == "capacity" {
+		// The capacity measure closes over the client -> facility assignment
+		// computed at startup; live set updates would silently evaluate heat
+		// against a stale assignment.
+		return nil, fmt.Errorf("-mutable is incompatible with -measure capacity (the assignment context would go stale)")
+	}
+
+	log.Printf("building heat map: %d clients, %d facilities, metric=%s measure=%s workers=%d",
+		len(clients), len(facilities), metric, measure.Name(), cfg.workers)
+	start := time.Now()
+	m, err := heatmap.Build(heatmap.Config{
+		Clients:    clients,
+		Facilities: facilities,
+		Metric:     metric,
+		Measure:    measure,
+		Workers:    cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxHeat, _ := m.MaxHeat()
+	log.Printf("built in %v: %d regions, max heat %.2f, bounds %v",
+		time.Since(start).Round(time.Millisecond), m.NumRegions(), maxHeat, m.Bounds())
+	return m, nil
+}
+
+// snapshotExists reports whether a snapshot for the named map is on disk.
+func snapshotExists(dir, name string) bool {
+	_, err := os.Stat(snapshot.MapPath(dir, name))
+	return err == nil
 }
 
 // buildMeasure constructs the influence measure. The capacity-constrained
@@ -193,19 +271,6 @@ func buildMeasure(cfg config, clients, facilities []heatmap.Point, metric heatma
 		return heatmap.Capacity(assignment, capacities, cfg.capNew), nil
 	default:
 		return nil, fmt.Errorf("unknown measure %q (want size or capacity)", cfg.measureName)
-	}
-}
-
-func parseMetric(name string) (heatmap.Metric, error) {
-	switch strings.ToLower(name) {
-	case "linf", "l∞", "chebyshev":
-		return heatmap.LInf, nil
-	case "l1", "manhattan":
-		return heatmap.L1, nil
-	case "l2", "euclidean":
-		return heatmap.L2, nil
-	default:
-		return 0, fmt.Errorf("unknown metric %q (want linf, l1 or l2)", name)
 	}
 }
 

@@ -22,6 +22,7 @@ package heatmap
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,6 +57,23 @@ const (
 	L1   = geom.L1
 	L2   = geom.L2
 )
+
+// ParseMetric maps a metric name ("linf", "l1", "l2" and common synonyms,
+// case-insensitive) to its constant. It is the one parser behind every
+// user-facing metric flag and API field, so the accepted names cannot
+// diverge between surfaces.
+func ParseMetric(name string) (Metric, error) {
+	switch strings.ToLower(name) {
+	case "linf", "l∞", "chebyshev":
+		return LInf, nil
+	case "l1", "manhattan":
+		return L1, nil
+	case "l2", "euclidean":
+		return L2, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want linf, l1 or l2)", name)
+	}
+}
 
 // Algorithm selects the Region Coloring algorithm.
 type Algorithm string
@@ -254,14 +272,8 @@ type DeltaStats struct {
 // context instead. A CustomMeasure is accepted as-is; if its function closes
 // over per-index context, rebuilding is likewise the caller's job.
 func (m *Map) ApplyDelta(d Delta) (*Map, DeltaStats, error) {
-	if m.cfg.Monochromatic {
-		return nil, DeltaStats{}, errors.New("heatmap: ApplyDelta requires a bichromatic map")
-	}
-	if m.cfg.Algorithm != "" && m.cfg.Algorithm != AlgCREST {
-		return nil, DeltaStats{}, fmt.Errorf("heatmap: ApplyDelta requires the CREST algorithm, map was built with %q", m.cfg.Algorithm)
-	}
-	if influence.UsesIndexContext(m.measure) {
-		return nil, DeltaStats{}, fmt.Errorf("heatmap: ApplyDelta cannot update a map whose %q measure closes over client/facility indexes; rebuild it with fresh context", m.measure.Name())
+	if err := m.DeltaSupported(); err != nil {
+		return nil, DeltaStats{}, err
 	}
 	out, err := delta.Apply(
 		delta.State{
@@ -313,6 +325,24 @@ func (m *Map) ApplyDelta(d Delta) (*Map, DeltaStats, error) {
 		DirtyRect:      out.Stats.DirtyRect,
 		Duration:       out.Stats.Duration,
 	}, nil
+}
+
+// DeltaSupported reports whether this map can be updated with ApplyDelta,
+// returning the reason it cannot. Servers use it to refuse mutation
+// requests up front (e.g. a capacity-measure map restored from a snapshot
+// into a mutable server) instead of surfacing the rejection as an internal
+// error per request.
+func (m *Map) DeltaSupported() error {
+	if m.cfg.Monochromatic {
+		return errors.New("heatmap: ApplyDelta requires a bichromatic map")
+	}
+	if m.cfg.Algorithm != "" && m.cfg.Algorithm != AlgCREST {
+		return fmt.Errorf("heatmap: ApplyDelta requires the CREST algorithm, map was built with %q", m.cfg.Algorithm)
+	}
+	if influence.UsesIndexContext(m.measure) {
+		return fmt.Errorf("heatmap: ApplyDelta cannot update a map whose %q measure closes over client/facility indexes; rebuild it with fresh context", m.measure.Name())
+	}
+	return nil
 }
 
 // NumClients and NumFacilities return the sizes of the client and facility

@@ -1,0 +1,136 @@
+package heatmap
+
+import (
+	"fmt"
+	"io"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/enclosure"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/snapshot"
+)
+
+// Snapshot captures the fully built map as a serializable snapshot carrying
+// the given server-side map version (use 1 for a freshly built map). The
+// snapshot round-trips everything queries and rendering depend on — points,
+// NN-circles, region labels, heat values, statistics and the measure's
+// context — so FromSnapshot restores a map whose answers and rendered tiles
+// are byte-identical to the original without re-running CREST.
+//
+// Measures built with CustomMeasure cannot be snapshotted: their behavior
+// lives in an arbitrary closure. Snapshot returns an error for them.
+func (m *Map) Snapshot(mapVersion uint64) (*snapshot.Snapshot, error) {
+	spec, err := influence.SpecOf(m.measure)
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: %w", err)
+	}
+	return &snapshot.Snapshot{
+		MapVersion:    mapVersion,
+		Metric:        m.cfg.Metric,
+		Monochromatic: m.cfg.Monochromatic,
+		Algorithm:     string(m.cfg.Algorithm),
+		Workers:       m.cfg.Workers,
+		Measure:       spec,
+		Clients:       m.cfg.Clients,
+		Facilities:    m.cfg.Facilities,
+		Circles:       m.circles,
+		Labels:        m.result.Labels,
+		MaxHeat:       m.result.MaxHeat,
+		MaxLabel:      m.result.MaxLabel,
+		Stats:         m.result.Stats,
+	}, nil
+}
+
+// FromSnapshot reconstructs a Map from a snapshot without re-running the
+// Region Coloring sweep: the labels and circles are taken as saved and only
+// the derived structures (bounds, enclosure index, renderer) are rebuilt,
+// which is why a 100k-circle map loads in milliseconds. The restored map
+// supports every operation of a freshly built one, including ApplyDelta.
+func FromSnapshot(s *snapshot.Snapshot) (*Map, error) {
+	if !s.Metric.Valid() {
+		return nil, fmt.Errorf("heatmap: snapshot has invalid metric %v", s.Metric)
+	}
+	if len(s.Clients) == 0 {
+		return nil, fmt.Errorf("heatmap: snapshot has no clients")
+	}
+	if len(s.Circles) != len(s.Clients) {
+		return nil, fmt.Errorf("heatmap: snapshot has %d circles for %d clients", len(s.Circles), len(s.Clients))
+	}
+	measure, err := s.Measure.Measure()
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: %w", err)
+	}
+	bounds := geom.EmptyRect()
+	for _, nc := range s.Circles {
+		bounds = bounds.Union(nc.Circle.BoundingRect())
+	}
+	return &Map{
+		cfg: Config{
+			Clients:       s.Clients,
+			Facilities:    s.Facilities,
+			Monochromatic: s.Monochromatic,
+			Metric:        s.Metric,
+			Measure:       measure,
+			Algorithm:     Algorithm(s.Algorithm),
+			Workers:       s.Workers,
+		},
+		circles: s.Circles,
+		bounds:  bounds,
+		result: &core.Result{
+			Labels:   s.Labels,
+			MaxHeat:  s.MaxHeat,
+			MaxLabel: s.MaxLabel,
+			Stats:    s.Stats,
+		},
+		index:   enclosure.NewRTreeIndex(nncircle.Circles(s.Circles)),
+		measure: measure,
+	}, nil
+}
+
+// WriteSnapshot encodes the map (at the given map version) to w in the
+// versioned binary snapshot format.
+func (m *Map) WriteSnapshot(w io.Writer, mapVersion uint64) error {
+	s, err := m.Snapshot(mapVersion)
+	if err != nil {
+		return err
+	}
+	return s.Encode(w)
+}
+
+// SaveSnapshot atomically writes the map's snapshot to path.
+func (m *Map) SaveSnapshot(path string, mapVersion uint64) error {
+	s, err := m.Snapshot(mapVersion)
+	if err != nil {
+		return err
+	}
+	return s.WriteFile(path)
+}
+
+// ReadSnapshot decodes a snapshot from r and restores the map, returning the
+// map version the snapshot was saved at.
+func ReadSnapshot(r io.Reader) (*Map, uint64, error) {
+	s, err := snapshot.Decode(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := FromSnapshot(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, s.MapVersion, nil
+}
+
+// LoadSnapshot restores a map saved with SaveSnapshot.
+func LoadSnapshot(path string) (*Map, uint64, error) {
+	s, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := FromSnapshot(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, s.MapVersion, nil
+}

@@ -1,0 +1,181 @@
+package heatmap
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rnnheatmap/internal/dataset"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/render"
+)
+
+// snapshotTestSets returns a small deterministic workload.
+func snapshotTestSets(t *testing.T) (clients, facilities []Point) {
+	t.Helper()
+	ds := dataset.Uniform(400, geom.Rect{MaxX: 500, MaxY: 500}, 11)
+	return ds.SampleClientsFacilities(150, 50, 3)
+}
+
+// tilePNG renders a deterministic sub-rectangle PNG, normalized against a
+// fixed range the way the server normalizes tiles.
+func tilePNG(t *testing.T, m *Map, bounds Rect) []byte {
+	t.Helper()
+	raster, err := m.RasterizeRect(bounds, 64, 64)
+	if err != nil {
+		t.Fatalf("RasterizeRect: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := raster.WritePNGScaled(&buf, render.Grayscale, 0, 10); err != nil {
+		t.Fatalf("WritePNGScaled: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripAcrossMetricsAndMeasures is the acceptance criterion:
+// save -> load of a built map is byte-identical for region labels, heat
+// values and rendered tile PNGs, for every metric and every serializable
+// measure.
+func TestSnapshotRoundTripAcrossMetricsAndMeasures(t *testing.T) {
+	t.Parallel()
+	clients, facilities := snapshotTestSets(t)
+	weights := make([]float64, len(clients))
+	for i := range weights {
+		weights[i] = 1 + float64(i%5)/2
+	}
+	edges := make([][2]int, 0, len(clients)-1)
+	for i := 0; i+1 < len(clients); i += 2 {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+
+	for _, metric := range []Metric{LInf, L1, L2} {
+		assignment, err := NearestAssignment(clients, facilities, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capacities := make([]float64, len(facilities))
+		for i := range capacities {
+			capacities[i] = 3
+		}
+		measures := map[string]Measure{
+			"size":         Size(),
+			"weighted":     Weighted(weights),
+			"connectivity": Connectivity(edges),
+			"capacity":     Capacity(assignment, capacities, 4),
+		}
+		for name, measure := range measures {
+			t.Run(fmt.Sprintf("%v_%s", metric, name), func(t *testing.T) {
+				t.Parallel()
+				orig, err := Build(Config{
+					Clients: clients, Facilities: facilities,
+					Metric: metric, Measure: measure,
+				})
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				path := filepath.Join(t.TempDir(), "m.snap")
+				if err := orig.SaveSnapshot(path, 5); err != nil {
+					t.Fatalf("SaveSnapshot: %v", err)
+				}
+				loaded, version, err := LoadSnapshot(path)
+				if err != nil {
+					t.Fatalf("LoadSnapshot: %v", err)
+				}
+				if version != 5 {
+					t.Errorf("loaded map version = %d, want 5", version)
+				}
+
+				if !reflect.DeepEqual(loaded.Regions(), orig.Regions()) {
+					t.Error("region labels differ after round-trip")
+				}
+				gotMax, _ := loaded.MaxHeat()
+				wantMax, _ := orig.MaxHeat()
+				if gotMax != wantMax {
+					t.Errorf("max heat = %v, want %v", gotMax, wantMax)
+				}
+				if loaded.Bounds() != orig.Bounds() {
+					t.Errorf("bounds = %v, want %v", loaded.Bounds(), orig.Bounds())
+				}
+				if loaded.MeasureName() != orig.MeasureName() {
+					t.Errorf("measure = %q, want %q", loaded.MeasureName(), orig.MeasureName())
+				}
+				if loaded.NumClients() != orig.NumClients() || loaded.NumFacilities() != orig.NumFacilities() {
+					t.Error("set sizes differ after round-trip")
+				}
+				for _, p := range []Point{Pt(250, 250), Pt(10, 490), Pt(333.5, 41.25), Pt(-100, -100)} {
+					gh, gr := loaded.HeatAt(p)
+					wh, wr := orig.HeatAt(p)
+					if gh != wh || !reflect.DeepEqual(gr, wr) {
+						t.Errorf("HeatAt(%v) = %v/%v, want %v/%v", p, gh, gr, wh, wr)
+					}
+				}
+
+				full := orig.Bounds()
+				sub := Rect{MinX: full.MinX, MinY: full.MinY,
+					MaxX: (full.MinX + full.MaxX) / 2, MaxY: (full.MinY + full.MaxY) / 2}
+				for _, b := range []Rect{full, sub} {
+					if !bytes.Equal(tilePNG(t, loaded, b), tilePNG(t, orig, b)) {
+						t.Errorf("rendered PNG for %v differs after round-trip", b)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotThenApplyDelta asserts a restored map stays mutable: applying
+// the same delta to the original and the restored map converges to identical
+// regions and pixels.
+func TestSnapshotThenApplyDelta(t *testing.T) {
+	t.Parallel()
+	clients, facilities := snapshotTestSets(t)
+	orig, err := Build(Config{Clients: clients, Facilities: facilities, Metric: L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.snap")
+	if err := orig.SaveSnapshot(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delta{
+		AddClients:    []Point{Pt(100, 100), Pt(400, 250)},
+		RemoveClients: []int{3},
+		AddFacilities: []Point{Pt(250, 250)},
+	}
+	next1, _, err := orig.ApplyDelta(d)
+	if err != nil {
+		t.Fatalf("ApplyDelta on original: %v", err)
+	}
+	next2, _, err := loaded.ApplyDelta(d)
+	if err != nil {
+		t.Fatalf("ApplyDelta on restored map: %v", err)
+	}
+	if !reflect.DeepEqual(next1.Regions(), next2.Regions()) {
+		t.Error("regions diverge after ApplyDelta on a restored map")
+	}
+	if !bytes.Equal(tilePNG(t, next1, next1.Bounds()), tilePNG(t, next2, next2.Bounds())) {
+		t.Error("pixels diverge after ApplyDelta on a restored map")
+	}
+}
+
+// TestSnapshotRejectsCustomMeasure asserts the documented limitation.
+func TestSnapshotRejectsCustomMeasure(t *testing.T) {
+	t.Parallel()
+	clients, facilities := snapshotTestSets(t)
+	m, err := Build(Config{
+		Clients: clients, Facilities: facilities, Metric: L2,
+		Measure: CustomMeasure("mine", func(cs []int) float64 { return float64(len(cs)) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(1); err == nil {
+		t.Error("Snapshot of a custom-measure map succeeded, want error")
+	}
+}

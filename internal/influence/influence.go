@@ -83,7 +83,10 @@ func (m *weightedMeasure) Influence(rnn *oset.Set) float64 {
 }
 
 // connectivityMeasure counts edges whose endpoints both lie in the RNN set.
+// The original edge list is retained alongside the derived adjacency so the
+// measure can be serialized (see SpecOf).
 type connectivityMeasure struct {
+	edges     [][2]int
 	adjacency map[int][]int
 }
 
@@ -96,7 +99,7 @@ func Connectivity(edges [][2]int) Measure {
 		adj[e[0]] = append(adj[e[0]], e[1])
 		adj[e[1]] = append(adj[e[1]], e[0])
 	}
-	return &connectivityMeasure{adjacency: adj}
+	return &connectivityMeasure{edges: edges, adjacency: adj}
 }
 
 func (*connectivityMeasure) usesIndexContext() {}

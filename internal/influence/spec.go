@@ -1,0 +1,64 @@
+package influence
+
+import "fmt"
+
+// Spec is the serializable description of a measure: the measure kind plus
+// whatever context it closes over. It exists so snapshots can persist a map
+// built with any of the paper's measures and reconstruct an equivalent
+// Measure on load. Custom (Func) measures close over arbitrary Go functions
+// and have no Spec.
+type Spec struct {
+	// Kind is the measure name: "size", "weighted", "connectivity",
+	// "capacity" or "capacity-gain".
+	Kind string
+	// Weights is the per-client weight context of the weighted measure.
+	Weights []float64
+	// Edges is the client-pair edge list of the connectivity measure.
+	Edges [][2]int
+	// Capacity is the assignment/capacity context of the capacity measure.
+	Capacity *CapacityContext
+	// GainCapacity is the candidate capacity of the capacity-gain measure.
+	GainCapacity float64
+}
+
+// SpecOf extracts the serializable description of m. It fails for measures
+// constructed with Func: their behavior lives in an arbitrary closure that
+// cannot be persisted.
+func SpecOf(m Measure) (Spec, error) {
+	switch m := m.(type) {
+	case sizeMeasure:
+		return Spec{Kind: "size"}, nil
+	case *weightedMeasure:
+		return Spec{Kind: "weighted", Weights: m.weights}, nil
+	case *connectivityMeasure:
+		return Spec{Kind: "connectivity", Edges: m.edges}, nil
+	case *capacityMeasure:
+		ctx := m.ctx
+		return Spec{Kind: "capacity", Capacity: &ctx}, nil
+	case gainMeasure:
+		return Spec{Kind: "capacity-gain", GainCapacity: m.capacity}, nil
+	default:
+		return Spec{}, fmt.Errorf("influence: measure %q has no serializable spec", m.Name())
+	}
+}
+
+// Measure reconstructs the measure the spec describes.
+func (s Spec) Measure() (Measure, error) {
+	switch s.Kind {
+	case "size", "":
+		return Size(), nil
+	case "weighted":
+		return Weighted(s.Weights), nil
+	case "connectivity":
+		return Connectivity(s.Edges), nil
+	case "capacity":
+		if s.Capacity == nil {
+			return nil, fmt.Errorf("influence: capacity spec has no context")
+		}
+		return Capacity(*s.Capacity), nil
+	case "capacity-gain":
+		return Gain(s.GainCapacity), nil
+	default:
+		return nil, fmt.Errorf("influence: unknown measure kind %q", s.Kind)
+	}
+}

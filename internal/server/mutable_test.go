@@ -74,6 +74,37 @@ func TestMutationRequiresMutable(t *testing.T) {
 	}
 }
 
+// TestMutationRejectsIndexContextMeasure asserts a per-map immutability:
+// a capacity-measure map on a mutable server answers 409 with the reason,
+// not a 500 — the case a snapshot-restored capacity map would hit.
+func TestMutationRejectsIndexContextMeasure(t *testing.T) {
+	t.Parallel()
+	clients := []heatmap.Point{heatmap.Pt(1, 1), heatmap.Pt(5, 5), heatmap.Pt(9, 1)}
+	facilities := []heatmap.Point{heatmap.Pt(0, 0), heatmap.Pt(10, 10)}
+	assignment, err := heatmap.NearestAssignment(clients, facilities, heatmap.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := heatmap.Build(heatmap.Config{
+		Clients: clients, Facilities: facilities, Metric: heatmap.L2,
+		Measure: heatmap.Capacity(assignment, []float64{2, 2}, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Map: m, Mutable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodPost, "/clients", `{"points":[{"x":2,"y":2}]}`)
+	if rec.Code != http.StatusConflict {
+		t.Errorf("mutation of a capacity-measure map = %d, want 409 (body %s)", rec.Code, rec.Body)
+	}
+	if got := s.Version(); got != 1 {
+		t.Errorf("rejected mutation bumped the version to %d", got)
+	}
+}
+
 // TestMutationBadRequests covers the 4xx paths of the mutation API.
 func TestMutationBadRequests(t *testing.T) {
 	t.Parallel()
@@ -117,7 +148,7 @@ func TestMutationDirtyRectCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := s.state()
+	st := s.def().state()
 
 	// Pick, at zoom 2, the tile containing the hot cluster (far from the
 	// update) and the tile containing the update site near (90, 90).
@@ -172,7 +203,7 @@ func TestMutationDirtyRectCache(t *testing.T) {
 	if !dirty.Contains(update) || dirty.Contains(cluster) {
 		t.Fatalf("dirty rect %v should cover the update site but not the cluster", dirty)
 	}
-	if ns := s.state(); ns.grid != st.grid || ns.heatLo != st.heatLo || ns.heatHi != st.heatHi {
+	if ns := s.def().state(); ns.grid != st.grid || ns.heatLo != st.heatLo || ns.heatHi != st.heatHi {
 		t.Fatalf("grid or heat range moved; the retention assertions below would be vacuous")
 	}
 

@@ -7,22 +7,26 @@ import (
 	"time"
 
 	"rnnheatmap/heatmap"
+	"rnnheatmap/internal/snapshot"
 )
 
 // The live mutation API. Every endpoint applies one heatmap.Delta through
-// ApplyDelta's copy-on-write path while holding the writer lock, builds the
-// derived snapshot state (renderer, tile grid, heat range, summary), migrates
-// the tile cache, and atomically publishes the new snapshot. Readers keep
-// serving the previous snapshot until the swap and are never blocked.
+// ApplyDelta's copy-on-write path while holding the map's writer lock,
+// builds the derived snapshot state (renderer, tile grid, heat range,
+// summary), appends the delta to the map's write-ahead log (persistent
+// servers), migrates the tile cache, and atomically publishes the new
+// snapshot. Readers keep serving the previous snapshot until the swap and
+// are never blocked; other maps are entirely unaffected.
 //
-//	POST   /clients     {"points":[{"x":..,"y":..},...]}
-//	DELETE /clients     {"indexes":[i,...]}
-//	POST   /facilities  {"points":[{"x":..,"y":..},...]}
-//	DELETE /facilities  {"indexes":[j,...]}
+//	POST   /maps/{map}/clients     {"points":[{"x":..,"y":..},...]}
+//	DELETE /maps/{map}/clients     {"indexes":[i,...]}
+//	POST   /maps/{map}/facilities  {"points":[{"x":..,"y":..},...]}
+//	DELETE /maps/{map}/facilities  {"indexes":[j,...]}
 //
-// Removal indexes are applied sequentially with swap-remove semantics: each
-// index refers to the set as left by the preceding removals of the same
-// request, and the last element moves into the freed slot.
+// (and the un-prefixed aliases against the default map). Removal indexes are
+// applied sequentially with swap-remove semantics: each index refers to the
+// set as left by the preceding removals of the same request, and the last
+// element moves into the freed slot.
 
 // mutateRequest is the body of every mutation endpoint; points for POST,
 // indexes for DELETE.
@@ -33,6 +37,7 @@ type mutateRequest struct {
 
 // mutateResponse reports the applied update and the new map version.
 type mutateResponse struct {
+	Map            string   `json:"map"`
 	Version        uint64   `json:"version"`
 	Clients        int      `json:"clients"`
 	Facilities     int      `json:"facilities"`
@@ -47,26 +52,26 @@ type mutateResponse struct {
 	DurationMS     float64  `json:"duration_ms"`
 }
 
-func (s *Server) handleAddClients(w http.ResponseWriter, r *http.Request) {
-	s.mutate(w, r, true, func(req *mutateRequest) heatmap.Delta {
+func (s *Server) handleAddClients(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
+	s.mutate(inst, w, r, true, func(req *mutateRequest) heatmap.Delta {
 		return heatmap.Delta{AddClients: toPoints(req.Points)}
 	})
 }
 
-func (s *Server) handleRemoveClients(w http.ResponseWriter, r *http.Request) {
-	s.mutate(w, r, false, func(req *mutateRequest) heatmap.Delta {
+func (s *Server) handleRemoveClients(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
+	s.mutate(inst, w, r, false, func(req *mutateRequest) heatmap.Delta {
 		return heatmap.Delta{RemoveClients: req.Indexes}
 	})
 }
 
-func (s *Server) handleAddFacilities(w http.ResponseWriter, r *http.Request) {
-	s.mutate(w, r, true, func(req *mutateRequest) heatmap.Delta {
+func (s *Server) handleAddFacilities(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
+	s.mutate(inst, w, r, true, func(req *mutateRequest) heatmap.Delta {
 		return heatmap.Delta{AddFacilities: toPoints(req.Points)}
 	})
 }
 
-func (s *Server) handleRemoveFacilities(w http.ResponseWriter, r *http.Request) {
-	s.mutate(w, r, false, func(req *mutateRequest) heatmap.Delta {
+func (s *Server) handleRemoveFacilities(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
+	s.mutate(inst, w, r, false, func(req *mutateRequest) heatmap.Delta {
 		return heatmap.Delta{RemoveFacilities: req.Indexes}
 	})
 }
@@ -79,12 +84,19 @@ func toPoints(ps []pointJSON) []heatmap.Point {
 	return out
 }
 
-// mutate decodes one mutation request, applies it and swaps the snapshot.
-// wantPoints selects which request field the endpoint consumes (points for
-// POST, indexes for DELETE).
-func (s *Server) mutate(w http.ResponseWriter, r *http.Request, wantPoints bool, toDelta func(*mutateRequest) heatmap.Delta) {
+// mutate decodes one mutation request, applies it and swaps the instance's
+// snapshot. wantPoints selects which request field the endpoint consumes
+// (points for POST, indexes for DELETE).
+func (s *Server) mutate(inst *mapInstance, w http.ResponseWriter, r *http.Request, wantPoints bool, toDelta func(*mutateRequest) heatmap.Delta) {
 	if !s.mutable {
 		writeError(w, http.StatusForbidden, "server is read-only; start heatmapd with -mutable to enable the mutation API")
+		return
+	}
+	// A map can be individually immutable — e.g. a capacity-measure map
+	// restored from a snapshot into a mutable server. Refuse up front with
+	// the reason instead of surfacing ApplyDelta's rejection as a 500.
+	if err := inst.state().m.DeltaSupported(); err != nil {
+		writeError(w, http.StatusConflict, "map %q cannot be mutated: %v", inst.name, err)
 		return
 	}
 	var req mutateRequest
@@ -123,11 +135,21 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, wantPoints bool,
 	}
 
 	started := time.Now()
-	s.writeMu.Lock()
-	st := s.state()
-	next, stats, err := st.m.ApplyDelta(toDelta(&req))
+	delta := toDelta(&req)
+	inst.writeMu.Lock()
+	// Re-check membership under the writer lock (as SaveAll and the save
+	// endpoint do): a mutation racing DELETE /maps/{name} would otherwise be
+	// acknowledged against an orphaned instance — and, with its WAL already
+	// closed, silently lost.
+	if s.lookup(inst.name) != inst {
+		inst.writeMu.Unlock()
+		writeError(w, http.StatusNotFound, "no map named %q", inst.name)
+		return
+	}
+	st := inst.state()
+	next, stats, err := st.m.ApplyDelta(delta)
 	if err != nil {
-		s.writeMu.Unlock()
+		inst.writeMu.Unlock()
 		if errors.Is(err, heatmap.ErrBadDelta) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 		} else {
@@ -137,24 +159,44 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, wantPoints bool,
 	}
 	ns, err := newMapState(next, st.version+1)
 	if err != nil {
-		s.writeMu.Unlock()
+		inst.writeMu.Unlock()
 		writeError(w, http.StatusInternalServerError, "building map state: %v", err)
 		return
+	}
+	// Write-ahead: the record must be durable before the new state becomes
+	// visible, or a crash between the two would lose an acknowledged update.
+	// On append failure the new state is discarded — the served map is
+	// unchanged and the client sees a 503 it can retry.
+	if inst.wal != nil {
+		err := inst.wal.Append(snapshot.Record{
+			Version:          ns.version,
+			AddClients:       delta.AddClients,
+			RemoveClients:    delta.RemoveClients,
+			AddFacilities:    delta.AddFacilities,
+			RemoveFacilities: delta.RemoveFacilities,
+		})
+		if err != nil {
+			inst.writeMu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "logging update: %v", err)
+			return
+		}
 	}
 	// Carry clean tiles over to the new version. If the tile grid moved (the
 	// data bounds changed) or the shared normalization range changed, every
 	// tile's bytes are suspect and the cache starts cold; otherwise only the
 	// tiles intersecting the update's dirty rectangle are dropped.
 	flushAll := ns.grid != st.grid || ns.heatLo != st.heatLo || ns.heatHi != st.heatHi
-	s.cache.migrate(st.version, ns.version, func(z, x, y int) bool {
+	inst.cache.migrate(st.version, ns.version, func(z, x, y int) bool {
 		return !flushAll && !st.grid.tileBounds(z, x, y).Intersects(stats.DirtyRect)
 	})
-	s.cur.Store(ns)
-	retained := s.cache.len()
-	s.writeMu.Unlock()
+	inst.cur.Store(ns)
+	inst.dirty.Store(true)
+	retained := inst.cache.len()
+	inst.writeMu.Unlock()
 
 	maxHeat, _ := next.MaxHeat()
 	writeJSON(w, http.StatusOK, mutateResponse{
+		Map:            inst.name,
 		Version:        ns.version,
 		Clients:        next.NumClients(),
 		Facilities:     next.NumFacilities(),

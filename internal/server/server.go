@@ -1,27 +1,53 @@
-// Package server implements heatmapd's HTTP layer: a long-running service
-// that owns a computed heatmap.Map and serves it to many readers. One
-// expensive Build is amortized across arbitrarily many cheap requests —
-// slippy-map raster tiles (GET /tiles/{z}/{x}/{y}.png), point and batched
-// influence queries (GET /heat, POST /heat/batch), region exploration
-// (GET /topk, GET /regions) and operational introspection (GET /healthz,
-// GET /stats).
+// Package server implements heatmapd's HTTP layer: a long-running,
+// multi-tenant service that owns a registry of computed heatmap.Maps and
+// serves them to many readers. One expensive Build (or a millisecond
+// snapshot load) is amortized across arbitrarily many cheap requests —
+// slippy-map raster tiles, point and batched influence queries, region
+// exploration and operational introspection.
 //
-// A mutable server (Config.Mutable) additionally accepts live set updates —
-// POST/DELETE /clients and /facilities — applied through heatmap.ApplyDelta's
-// copy-on-write semantics: writers build a new map (resweeping only the dirty
-// part of the arrangement) and atomically swap it in, so readers never lock
-// and never observe a half-updated map. Each swap bumps the map version
-// reported by /stats and the mutation responses.
+// Every data endpoint exists in two forms: the tenant form
+// /maps/{name}/... and a legacy alias without the prefix that resolves to
+// the map named "default", so pre-registry clients keep working unchanged:
+//
+//	GET    /maps                          list maps
+//	POST   /maps                          create a map from uploaded points
+//	GET    /maps/{map}                    map info
+//	DELETE /maps/{map}                    delete a map (not "default")
+//	POST   /maps/{map}/snapshot           force-persist the map now
+//	GET    /maps/{map}/tiles/{z}/{x}/{y}.png   (alias /tiles/...)
+//	GET    /maps/{map}/heat               (alias /heat)
+//	POST   /maps/{map}/heat/batch         (alias /heat/batch)
+//	GET    /maps/{map}/topk               (alias /topk)
+//	GET    /maps/{map}/regions            (alias /regions)
+//	GET    /maps/{map}/histogram          (alias /histogram)
+//	GET    /maps/{map}/stats              (alias /stats)
+//	POST/DELETE /maps/{map}/clients, /maps/{map}/facilities   (aliases too)
+//
+// A mutable server (Config.Mutable) accepts live set updates applied through
+// heatmap.ApplyDelta's copy-on-write semantics: per map, writers build a new
+// map (resweeping only the dirty part of the arrangement) and atomically
+// swap it in, so readers never lock and never observe a half-updated map.
+// Each swap bumps that map's version. Maps are isolated: every instance has
+// its own writer lock and its own version-keyed tile cache, so a write burst
+// against one tenant never blocks reads or writes on another.
+//
+// With Config.SnapshotDir set the registry is durable: each map is saved as
+// a versioned binary snapshot (internal/snapshot), every applied mutation is
+// appended to the map's write-ahead log before it becomes visible, and
+// Config.Load restores snapshot+WAL on startup — so a restarted server
+// reports the same map version and serves byte-identical tiles as the one
+// that crashed.
 //
 // Tiles are rendered through the current map's shared render.Renderer,
 // normalized against the map-wide heat range so adjacent tiles shade
-// consistently, and cached in a fixed-size LRU with single-flight
+// consistently, and cached per map in a fixed-size LRU with single-flight
 // de-duplication keyed by map version. On a mutation, cached tiles that do
 // not intersect the update's dirty rectangle are carried over to the new
 // version; the rest are invalidated (the whole cache is, whenever the update
 // moved the tile grid or the normalization range). Tile bytes depend only on
 // the NN-circles and the influence measure, so responses are byte-identical
-// regardless of how many workers swept the map.
+// regardless of how many workers swept the map — or whether it was swept at
+// all rather than loaded from a snapshot.
 package server
 
 import (
@@ -32,10 +58,10 @@ import (
 	"hash/fnv"
 	"math"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rnnheatmap/heatmap"
@@ -45,14 +71,15 @@ import (
 
 // Config configures a Server.
 type Config struct {
-	// Map is the heat map to serve. Required.
+	// Map is the initial "default" map. Required unless Load restores a
+	// default map from SnapshotDir.
 	Map *heatmap.Map
 	// Mutable enables the live mutation API (POST/DELETE /clients and
-	// /facilities). When false those endpoints answer 403.
+	// /facilities, per map). When false those endpoints answer 403.
 	Mutable bool
 	// TileSize is the tile edge length in pixels; 0 means 256.
 	TileSize int
-	// TileCacheSize is the LRU capacity in tiles; 0 means 512.
+	// TileCacheSize is the per-map LRU capacity in tiles; 0 means 512.
 	TileCacheSize int
 	// ColorMap renders tiles; nil means render.Grayscale (darker = hotter,
 	// as in the paper's figures).
@@ -63,11 +90,23 @@ type Config struct {
 	// MaxRegions caps the number of regions returned by GET /regions and
 	// GET /topk; 0 means 10000.
 	MaxRegions int
+	// MaxMaps caps the registry size; 0 means 64.
+	MaxMaps int
+	// MaxMapPoints caps clients+facilities of a map created via POST /maps;
+	// 0 means 200000.
+	MaxMapPoints int
+	// SnapshotDir, when non-empty, makes the registry durable: maps are
+	// saved there as binary snapshots and (on mutable servers) every applied
+	// mutation is write-ahead logged. The directory is created if missing.
+	SnapshotDir string
+	// Load restores every map found in SnapshotDir at startup, replaying
+	// each map's WAL on top of its snapshot. Requires SnapshotDir.
+	Load bool
 }
 
-// mapState is one immutable snapshot of the served map and everything
-// derived from it. Readers load the current snapshot once per request from
-// the server's atomic pointer; writers construct a fresh snapshot and swap.
+// mapState is one immutable snapshot of a served map and everything derived
+// from it. Readers load the current snapshot once per request from their
+// instance's atomic pointer; writers construct a fresh snapshot and swap.
 type mapState struct {
 	m       *heatmap.Map
 	rd      *render.Renderer
@@ -97,28 +136,33 @@ func newMapState(m *heatmap.Map, version uint64) (*mapState, error) {
 	return st, nil
 }
 
-// Server serves one heat map over HTTP. It is an http.Handler; readers are
-// lock-free against the current map snapshot, mutations are serialized by an
-// internal writer lock.
+// Server serves a registry of heat maps over HTTP. It is an http.Handler;
+// readers are lock-free against each map's current snapshot, mutations are
+// serialized per map by that instance's writer lock.
 type Server struct {
-	cur        atomic.Pointer[mapState]
-	writeMu    sync.Mutex // serializes ApplyDelta + swap + cache migration
-	mutable    bool
-	tileSize   int
-	cm         render.ColorMap
-	maxBatch   int
-	maxRegions int
-	cache      *tileCache
-	renders    atomic.Int64 // cumulative tile renders across all versions
-	mux        *http.ServeMux
-	started    time.Time
+	mutable       bool
+	tileSize      int
+	tileCacheSize int
+	cm            render.ColorMap
+	maxBatch      int
+	maxRegions    int
+	maxMaps       int
+	maxMapPoints  int
+	snapshotDir   string
+
+	mu   sync.RWMutex
+	maps map[string]*mapInstance
+	// creating holds names reserved by in-flight POST /maps builds, so
+	// concurrent same-name creates are refused before paying a multi-second
+	// Build, and the registry cap bounds in-flight builds too.
+	creating map[string]struct{}
+
+	mux     *http.ServeMux
+	started time.Time
 }
 
 // New builds a Server for the given configuration.
 func New(cfg Config) (*Server, error) {
-	if cfg.Map == nil {
-		return nil, errors.New("server: Config.Map is required")
-	}
 	if cfg.TileSize == 0 {
 		cfg.TileSize = 256
 	}
@@ -137,38 +181,105 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxRegions <= 0 {
 		cfg.MaxRegions = 10000
 	}
-	st, err := newMapState(cfg.Map, 1)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+	if cfg.MaxMaps <= 0 {
+		cfg.MaxMaps = 64
+	}
+	if cfg.MaxMapPoints <= 0 {
+		cfg.MaxMapPoints = 200000
+	}
+	if cfg.Load && cfg.SnapshotDir == "" {
+		return nil, errors.New("server: Config.Load requires Config.SnapshotDir")
 	}
 	s := &Server{
-		mutable:    cfg.Mutable,
-		tileSize:   cfg.TileSize,
-		cm:         cfg.ColorMap,
-		maxBatch:   cfg.MaxBatch,
-		maxRegions: cfg.MaxRegions,
-		cache:      newTileCache(cfg.TileCacheSize),
-		mux:        http.NewServeMux(),
-		started:    time.Now(),
+		mutable:       cfg.Mutable,
+		tileSize:      cfg.TileSize,
+		tileCacheSize: cfg.TileCacheSize,
+		cm:            cfg.ColorMap,
+		maxBatch:      cfg.MaxBatch,
+		maxRegions:    cfg.MaxRegions,
+		maxMaps:       cfg.MaxMaps,
+		maxMapPoints:  cfg.MaxMapPoints,
+		snapshotDir:   cfg.SnapshotDir,
+		maps:          make(map[string]*mapInstance),
+		creating:      make(map[string]struct{}),
+		mux:           http.NewServeMux(),
+		started:       time.Now(),
 	}
-	s.cur.Store(st)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /heat", s.handleHeat)
-	s.mux.HandleFunc("POST /heat/batch", s.handleHeatBatch)
-	s.mux.HandleFunc("GET /topk", s.handleTopK)
-	s.mux.HandleFunc("GET /regions", s.handleRegions)
-	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
-	s.mux.HandleFunc("GET /tiles/{z}/{x}/{y}", s.handleTile)
-	s.mux.HandleFunc("POST /clients", s.handleAddClients)
-	s.mux.HandleFunc("DELETE /clients", s.handleRemoveClients)
-	s.mux.HandleFunc("POST /facilities", s.handleAddFacilities)
-	s.mux.HandleFunc("DELETE /facilities", s.handleRemoveFacilities)
+	if s.snapshotDir != "" {
+		if err := os.MkdirAll(s.snapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating snapshot dir: %w", err)
+		}
+	}
+	if cfg.Load {
+		if err := s.loadMaps(); err != nil {
+			return nil, err
+		}
+	}
+	if s.def() == nil {
+		if cfg.Map == nil {
+			if cfg.Load {
+				return nil, fmt.Errorf("server: no default map: Config.Map is nil and %s holds no %q snapshot", s.snapshotDir, DefaultMapName)
+			}
+			return nil, errors.New("server: Config.Map is required")
+		}
+		if _, err := s.register(DefaultMapName, cfg.Map, 1, false, nil); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	// When Load restored a default map, it wins over cfg.Map: the caller
+	// asked for durability, and the snapshot is the durable state.
+	s.routes()
 	return s, nil
 }
 
-// state returns the current map snapshot.
-func (s *Server) state() *mapState { return s.cur.Load() }
+// routes registers every endpoint in both its tenant form and its legacy
+// default-map alias.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /maps", s.handleListMaps)
+	s.mux.HandleFunc("POST /maps", s.handleCreateMap)
+	s.mux.HandleFunc("GET /maps/{map}", s.named(s.handleGetMap))
+	s.mux.HandleFunc("DELETE /maps/{map}", s.named(s.handleDeleteMap))
+	s.mux.HandleFunc("POST /maps/{map}/snapshot", s.named(s.handleSaveMap))
+	for pattern, h := range map[string]func(*mapInstance, http.ResponseWriter, *http.Request){
+		"GET /stats":             s.handleStats,
+		"GET /heat":              s.handleHeat,
+		"POST /heat/batch":       s.handleHeatBatch,
+		"GET /topk":              s.handleTopK,
+		"GET /regions":           s.handleRegions,
+		"GET /histogram":         s.handleHistogram,
+		"GET /tiles/{z}/{x}/{y}": s.handleTile,
+		"POST /clients":          s.handleAddClients,
+		"DELETE /clients":        s.handleRemoveClients,
+		"POST /facilities":       s.handleAddFacilities,
+		"DELETE /facilities":     s.handleRemoveFacilities,
+	} {
+		method, path, _ := strings.Cut(pattern, " ")
+		s.mux.HandleFunc(pattern, s.onDefault(h))
+		s.mux.HandleFunc(method+" /maps/{map}"+path, s.named(h))
+	}
+}
+
+// onDefault adapts a per-map handler to the legacy un-prefixed route.
+func (s *Server) onDefault(h func(*mapInstance, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(s.def(), w, r)
+	}
+}
+
+// named adapts a per-map handler to its /maps/{map}/... route, resolving
+// the tenant and answering 404 for unknown names.
+func (s *Server) named(h func(*mapInstance, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("map")
+		inst := s.lookup(name)
+		if inst == nil {
+			writeError(w, http.StatusNotFound, "no map named %q", name)
+			return
+		}
+		h(inst, w, r)
+	}
+}
 
 // heatRange returns the fixed normalization range for tiles: from the
 // smaller of the empty-set heat and the coolest region to the map maximum.
@@ -190,17 +301,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Bounds returns the data bounds of the currently served map.
-func (s *Server) Bounds() heatmap.Rect { return s.state().rd.Bounds() }
+// Bounds returns the data bounds of the currently served default map.
+func (s *Server) Bounds() heatmap.Rect { return s.def().state().rd.Bounds() }
 
-// Version returns the current map version. It starts at 1 and increments
-// with every applied mutation.
-func (s *Server) Version() uint64 { return s.state().version }
+// Version returns the default map's current version. It starts at 1 and
+// increments with every applied mutation.
+func (s *Server) Version() uint64 { return s.def().state().version }
 
-// RenderCalls returns how many tile renders have actually executed across
-// all map versions; warm cache hits do not increment it. Exposed for tests
-// and /stats.
-func (s *Server) RenderCalls() int64 { return s.renders.Load() }
+// RenderCalls returns how many tile renders have actually executed for the
+// default map across all its versions; warm cache hits do not increment it.
+// Exposed for tests and /stats.
+func (s *Server) RenderCalls() int64 { return s.def().renders.Load() }
+
+// NumMaps returns the registry size.
+func (s *Server) NumMaps() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.maps)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -228,9 +346,10 @@ func parseFloat(r *http.Request, name string) (float64, error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.state()
+	st := s.def().state()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
+		"maps":    s.NumMaps(),
 		"regions": st.m.NumRegions(),
 		"version": st.version,
 	})
@@ -238,9 +357,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /stats payload.
 type statsResponse struct {
+	Name          string      `json:"name"`
 	Measure       string      `json:"measure"`
 	Version       uint64      `json:"version"`
 	Mutable       bool        `json:"mutable"`
+	Persisted     bool        `json:"persisted"`
 	Clients       int         `json:"clients"`
 	Facilities    int         `json:"facilities"`
 	Regions       int         `json:"regions"`
@@ -292,16 +413,18 @@ func toRectJSON(r geom.Rect) rectJSON {
 	return rectJSON{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.state()
+func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
+	st := inst.state()
 	cs := st.m.Stats()
 	maxHeat, _ := st.m.MaxHeat()
 	sum := st.summary
-	hits, misses, waited := s.cache.stats()
+	hits, misses, waited := inst.cache.stats()
 	writeJSON(w, http.StatusOK, statsResponse{
+		Name:          inst.name,
 		Measure:       st.m.MeasureName(),
 		Version:       st.version,
 		Mutable:       s.mutable,
+		Persisted:     s.snapshotDir != "",
 		Clients:       st.m.NumClients(),
 		Facilities:    st.m.NumFacilities(),
 		Regions:       st.m.NumRegions(),
@@ -325,11 +448,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Tiles: tileStats{
 			Size:        s.tileSize,
-			Cached:      s.cache.len(),
+			Cached:      inst.cache.len(),
 			CacheHits:   hits,
 			CacheMisses: misses,
 			Coalesced:   waited,
-			Renders:     s.renders.Load(),
+			Renders:     inst.renders.Load(),
 		},
 	})
 }
@@ -349,7 +472,7 @@ func nonNil(rnn []int) []int {
 	return rnn
 }
 
-func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHeat(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	x, err := parseFloat(r, "x")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -360,7 +483,7 @@ func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	heat, rnn := s.state().m.HeatAt(heatmap.Pt(x, y))
+	heat, rnn := inst.state().m.HeatAt(heatmap.Pt(x, y))
 	writeJSON(w, http.StatusOK, heatResponse{X: x, Y: y, Heat: heat, RNN: nonNil(rnn)})
 }
 
@@ -372,7 +495,7 @@ type batchRequest struct {
 	} `json:"points"`
 }
 
-func (s *Server) handleHeatBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHeatBatch(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
@@ -396,7 +519,7 @@ func (s *Server) handleHeatBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ps[i] = heatmap.Pt(p.X, p.Y)
 	}
-	heats, rnns := s.state().m.HeatAtBatch(ps)
+	heats, rnns := inst.state().m.HeatAtBatch(ps)
 	results := make([]heatResponse, len(ps))
 	for i := range ps {
 		results[i] = heatResponse{X: ps[i].X, Y: ps[i].Y, Heat: heats[i], RNN: nonNil(rnns[i])}
@@ -428,7 +551,7 @@ func toRegionJSON(rs []heatmap.Region) []regionJSON {
 	return out
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTopK(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	k := 10
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -441,20 +564,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if k > s.maxRegions {
 		k = s.maxRegions
 	}
-	regions := s.state().m.TopK(k)
+	regions := inst.state().m.TopK(k)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"k":       k,
 		"regions": toRegionJSON(regions),
 	})
 }
 
-func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRegions(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	minHeat, err := parseFloat(r, "min")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	regions := s.state().m.AboveThreshold(minHeat)
+	regions := inst.state().m.AboveThreshold(minHeat)
 	total := len(regions)
 	truncated := false
 	if total > s.maxRegions {
@@ -471,7 +594,7 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 
 // handleHistogram serves the heat distribution as equal-width bins, the
 // data behind a dashboard's heat legend.
-func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHistogram(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	bins := 20
 	if raw := r.URL.Query().Get("bins"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -481,7 +604,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 		}
 		bins = v
 	}
-	edges, counts := s.state().m.HeatHistogram(bins)
+	edges, counts := inst.state().m.HeatHistogram(bins)
 	if edges == nil {
 		edges = []float64{}
 	}
@@ -495,7 +618,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTile(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	yRaw, ok := strings.CutSuffix(r.PathValue("y"), ".png")
 	if !ok {
 		writeError(w, http.StatusBadRequest, "tile path must end in .png")
@@ -508,13 +631,13 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "tile coordinates must be integers: /tiles/{z}/{x}/{y}.png")
 		return
 	}
-	st := s.state()
+	st := inst.state()
 	if !st.grid.valid(z, x, y) {
 		writeError(w, http.StatusNotFound, "tile %d/%d/%d outside the pyramid (zoom 0..%d, 2^z tiles per axis)", z, x, y, MaxZoom)
 		return
 	}
 	key := tileKey{version: st.version, z: z, x: x, y: y}
-	t, _, err := s.cache.get(key, func() (*tileData, error) { return s.renderTile(st, z, x, y) })
+	t, _, err := inst.cache.get(key, func() (*tileData, error) { return s.renderTile(inst, st, z, x, y) })
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "rendering tile: %v", err)
 		return
@@ -540,12 +663,12 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 // renderTile rasterizes one tile of the given snapshot, encodes it as PNG
 // normalizing against the snapshot's map-wide heat range, and stamps the
 // ETag once.
-func (s *Server) renderTile(st *mapState, z, x, y int) (*tileData, error) {
+func (s *Server) renderTile(inst *mapInstance, st *mapState, z, x, y int) (*tileData, error) {
 	raster, err := st.rd.Render(st.grid.tileBounds(z, x, y), s.tileSize, s.tileSize)
 	if err != nil {
 		return nil, err
 	}
-	s.renders.Add(1)
+	inst.renders.Add(1)
 	var buf bytes.Buffer
 	if err := raster.WritePNGScaled(&buf, s.cm, st.heatLo, st.heatHi); err != nil {
 		return nil, err

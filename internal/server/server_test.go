@@ -123,7 +123,7 @@ func TestTileCacheWarm(t *testing.T) {
 	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
 		t.Errorf("warm tile bytes differ from cold tile bytes")
 	}
-	hits, misses, _ := s.cache.stats()
+	hits, misses, _ := s.def().cache.stats()
 	if hits != 1 || misses != 1 {
 		t.Errorf("cache hits=%d misses=%d, want 1 and 1", hits, misses)
 	}
@@ -391,7 +391,7 @@ func TestTileCacheEviction(t *testing.T) {
 			t.Fatalf("tile %d = %d, want 200", x, rec.Code)
 		}
 	}
-	if got := s.cache.len(); got != 4 {
+	if got := s.def().cache.len(); got != 4 {
 		t.Errorf("cache holds %d tiles, want capacity 4", got)
 	}
 	// The oldest tile was evicted: re-requesting it renders again.

@@ -1,0 +1,518 @@
+// Package snapshot persists built heat maps. It defines a versioned binary
+// format that round-trips everything a heatmap.Map is made of — the client
+// and facility sets, the NN-circles, the labeled regions, the influence
+// measure's serializable context and the run statistics — so a server
+// restart loads a 100k-circle map in milliseconds instead of re-running the
+// CREST sweep. A companion write-ahead log (wal.go) records the deltas a
+// mutable server applied since its last snapshot, so replaying snapshot+WAL
+// reconstructs the exact pre-crash map.
+//
+// Format. A snapshot is a little-endian byte stream:
+//
+//	magic "RNHM" | u16 format version | body | u32 CRC-32 (IEEE) of the body
+//
+// The body layout is fixed per format version and documented field by field
+// in encodeBody. Compatibility policy: readers accept exactly the format
+// versions they know (currently only Version); any layout change bumps the
+// version, and old files are rejected with a clear error rather than
+// misparsed. Every slice is length-prefixed and lengths are validated
+// against sane bounds before allocation, so a corrupt or truncated file
+// fails fast instead of OOM-ing the loader.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+)
+
+// Version is the current snapshot format version. Decode rejects files
+// written by any other version.
+const Version uint16 = 1
+
+var magic = [4]byte{'R', 'N', 'H', 'M'}
+
+// maxSliceLen bounds every length prefix read from a snapshot or WAL file.
+// It is far above any realistic workload (the repo's big benchmarks use 100k
+// circles) but small enough that a corrupt length cannot claim an absurd
+// element count outright.
+const maxSliceLen = 1 << 28
+
+// allocChunk caps the up-front capacity of any slice grown during decoding.
+// Decoders append up to the declared length but never reserve more than this
+// ahead of the data actually read, so a corrupt length prefix runs the
+// stream out of input (an error) after at most a few MB of allocation
+// instead of OOM-ing the loader.
+const allocChunk = 1 << 16
+
+// Snapshot is the serializable state of one built heat map. It mirrors the
+// inputs and outputs of heatmap.Build plus the map version a server had
+// assigned when it saved.
+type Snapshot struct {
+	// MapVersion is the server-side version counter of the saved map (1 for a
+	// freshly built map, +1 per applied mutation). WAL replay skips records
+	// already folded into the snapshot by comparing against it.
+	MapVersion uint64
+	// Metric, Monochromatic, Algorithm and Workers reproduce the
+	// heatmap.Config the map was built with.
+	Metric        geom.Metric
+	Monochromatic bool
+	Algorithm     string
+	Workers       int
+	// Measure is the serializable description of the influence measure.
+	Measure influence.Spec
+	// Clients and Facilities are the point sets (after any applied deltas).
+	Clients    []geom.Point
+	Facilities []geom.Point
+	// Circles are the NN-circles of the clients.
+	Circles []nncircle.NNCircle
+	// Labels, MaxHeat, MaxLabel and Stats reproduce the core.Result of the
+	// Region Coloring run.
+	Labels   []core.Label
+	MaxHeat  float64
+	MaxLabel core.Label
+	Stats    core.Stats
+}
+
+// Encode writes the snapshot to w in the versioned binary format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	crc := crc32.NewIEEE()
+	e := &encoder{w: io.MultiWriter(bw, crc)}
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	var verBuf [2]byte
+	binary.LittleEndian.PutUint16(verBuf[:], Version)
+	if _, err := bw.Write(verBuf[:]); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	s.encodeBody(e)
+	if e.err != nil {
+		return fmt.Errorf("snapshot: encoding: %w", e.err)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// encodeBody writes the format-v1 body. The field order here is the format
+// specification; Decode reads the same order.
+func (s *Snapshot) encodeBody(e *encoder) {
+	e.u64(s.MapVersion)
+	e.u8(uint8(s.Metric))
+	var flags uint8
+	if s.Monochromatic {
+		flags |= 1
+	}
+	e.u8(flags)
+	e.str(s.Algorithm)
+	e.i64(int64(s.Workers))
+	encodeSpec(e, s.Measure)
+	e.points(s.Clients)
+	e.points(s.Facilities)
+	e.u32(uint32(len(s.Circles)))
+	for _, c := range s.Circles {
+		e.i32(int32(c.Client))
+		e.i32(int32(c.Facility))
+		e.u8(uint8(c.Circle.Metric))
+		e.f64(c.Circle.Center.X)
+		e.f64(c.Circle.Center.Y)
+		e.f64(c.Circle.Radius)
+	}
+	e.u32(uint32(len(s.Labels)))
+	for i := range s.Labels {
+		encodeLabel(e, &s.Labels[i])
+	}
+	e.f64(s.MaxHeat)
+	encodeLabel(e, &s.MaxLabel)
+	e.i64(int64(s.Stats.Circles))
+	e.i64(int64(s.Stats.Events))
+	e.i64(int64(s.Stats.Labelings))
+	e.i64(int64(s.Stats.InfluenceCalls))
+	e.i64(int64(s.Stats.EnclosureQueries))
+	e.i64(int64(s.Stats.GridCells))
+	e.i64(int64(s.Stats.MaxRNNSetSize))
+	e.i64(int64(s.Stats.Duration))
+}
+
+// Decode reads one snapshot from r, verifying the magic, format version and
+// checksum.
+func Decode(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var head [6]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if [4]byte(head[:4]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	}
+	crc := crc32.NewIEEE()
+	d := &decoder{r: br, crc: crc}
+	s := decodeBody(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: decoding: %w", d.err)
+	}
+	sum := crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading checksum: %w", err)
+	}
+	if want := binary.LittleEndian.Uint32(crcBuf[:]); sum != want {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x): file is corrupt", want, sum)
+	}
+	return s, nil
+}
+
+func decodeBody(d *decoder) *Snapshot {
+	s := &Snapshot{}
+	s.MapVersion = d.u64()
+	s.Metric = geom.Metric(d.u8())
+	flags := d.u8()
+	s.Monochromatic = flags&1 != 0
+	s.Algorithm = d.str()
+	s.Workers = int(d.i64())
+	s.Measure = decodeSpec(d)
+	s.Clients = d.points()
+	s.Facilities = d.points()
+	n := d.sliceLen()
+	if d.err == nil && n > 0 {
+		// Grown with append (capacity capped) rather than allocated up front:
+		// a corrupt length prefix must run out of input after a bounded
+		// allocation, not reserve gigabytes before the CRC check ever runs.
+		s.Circles = make([]nncircle.NNCircle, 0, min(n, allocChunk))
+		for i := 0; i < n && d.err == nil; i++ {
+			c := nncircle.NNCircle{
+				Client:   int(d.i32()),
+				Facility: int(d.i32()),
+			}
+			c.Circle = geom.Circle{
+				Metric: geom.Metric(d.u8()),
+				Center: geom.Point{X: d.f64(), Y: d.f64()},
+			}
+			c.Circle.Radius = d.f64()
+			s.Circles = append(s.Circles, c)
+		}
+	}
+	k := d.sliceLen()
+	if d.err == nil && k > 0 {
+		s.Labels = make([]core.Label, 0, min(k, allocChunk))
+		for i := 0; i < k && d.err == nil; i++ {
+			var l core.Label
+			decodeLabel(d, &l)
+			s.Labels = append(s.Labels, l)
+		}
+	}
+	s.MaxHeat = d.f64()
+	decodeLabel(d, &s.MaxLabel)
+	s.Stats.Circles = int(d.i64())
+	s.Stats.Events = int(d.i64())
+	s.Stats.Labelings = int(d.i64())
+	s.Stats.InfluenceCalls = int(d.i64())
+	s.Stats.EnclosureQueries = int(d.i64())
+	s.Stats.GridCells = int(d.i64())
+	s.Stats.MaxRNNSetSize = int(d.i64())
+	s.Stats.Duration = time.Duration(d.i64())
+	if d.err == nil && !s.Metric.Valid() {
+		d.err = fmt.Errorf("invalid metric %d", s.Metric)
+	}
+	return s
+}
+
+func encodeLabel(e *encoder, l *core.Label) {
+	e.f64(l.Region.MinX)
+	e.f64(l.Region.MinY)
+	e.f64(l.Region.MaxX)
+	e.f64(l.Region.MaxY)
+	e.f64(l.Point.X)
+	e.f64(l.Point.Y)
+	e.f64(l.Heat)
+	e.u32(uint32(len(l.RNN)))
+	for _, id := range l.RNN {
+		e.i32(int32(id))
+	}
+}
+
+func decodeLabel(d *decoder, l *core.Label) {
+	l.Region = geom.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+	l.Point = geom.Point{X: d.f64(), Y: d.f64()}
+	l.Heat = d.f64()
+	n := d.sliceLen()
+	if d.err != nil {
+		return
+	}
+	// Always allocate: the sweeps emit empty (non-nil) RNN slices for regions
+	// outside every circle, and round-trip equality must preserve that.
+	l.RNN = make([]int, 0, min(n, allocChunk))
+	for i := 0; i < n && d.err == nil; i++ {
+		l.RNN = append(l.RNN, int(d.i32()))
+	}
+}
+
+func encodeSpec(e *encoder, s influence.Spec) {
+	e.str(s.Kind)
+	e.f64s(s.Weights)
+	e.u32(uint32(len(s.Edges)))
+	for _, edge := range s.Edges {
+		e.i32(int32(edge[0]))
+		e.i32(int32(edge[1]))
+	}
+	if s.Capacity == nil {
+		e.u8(0)
+	} else {
+		e.u8(1)
+		e.i32s(s.Capacity.Assignment)
+		e.f64s(s.Capacity.Capacities)
+		e.f64(s.Capacity.NewFacilityCapacity)
+	}
+	e.f64(s.GainCapacity)
+}
+
+func decodeSpec(d *decoder) influence.Spec {
+	var s influence.Spec
+	s.Kind = d.str()
+	s.Weights = d.f64s()
+	n := d.sliceLen()
+	if d.err == nil && n > 0 {
+		s.Edges = make([][2]int, 0, min(n, allocChunk))
+		for i := 0; i < n && d.err == nil; i++ {
+			s.Edges = append(s.Edges, [2]int{int(d.i32()), int(d.i32())})
+		}
+	}
+	if d.u8() == 1 {
+		ctx := &influence.CapacityContext{}
+		ctx.Assignment = d.i32s()
+		ctx.Capacities = d.f64s()
+		ctx.NewFacilityCapacity = d.f64()
+		s.Capacity = ctx
+	}
+	s.GainCapacity = d.f64()
+	return s
+}
+
+// MapPath and WALPath return the canonical file names for a named map inside
+// a snapshot directory; the server and heatmapd agree on them.
+func MapPath(dir, name string) string { return filepath.Join(dir, name+".snap") }
+func WALPath(dir, name string) string { return filepath.Join(dir, name+".wal") }
+
+// WriteFile atomically writes the snapshot to path: the bytes go to a
+// temporary file in the same directory which is fsynced and renamed over
+// path, so a crash mid-save leaves the previous snapshot intact.
+func (s *Snapshot) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	// Fsync the directory so the rename itself is durable. The server
+	// resets the WAL right after a snapshot save; if the new directory
+	// entry were still only in the page cache at that point, a power
+	// failure would roll back to the old snapshot with an already-emptied
+	// log — losing acknowledged mutations.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a snapshot written by WriteFile.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// encoder writes little-endian primitives with a sticky error.
+type encoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) u8(v uint8) { e.buf[0] = v; e.write(e.buf[:1]) }
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+func (e *encoder) i32(v int32)   { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.write([]byte(s))
+}
+
+func (e *encoder) f64s(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+func (e *encoder) i32s(vs []int) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i32(int32(v))
+	}
+}
+
+func (e *encoder) points(ps []geom.Point) {
+	e.u32(uint32(len(ps)))
+	for _, p := range ps {
+		e.f64(p.X)
+		e.f64(p.Y)
+	}
+}
+
+// decoder reads little-endian primitives with a sticky error, feeding every
+// consumed byte into the CRC.
+type decoder struct {
+	r   io.Reader
+	crc hash.Hash32
+	err error
+	buf [8]byte
+}
+
+func (d *decoder) read(b []byte) {
+	if d.err != nil {
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	if d.crc != nil {
+		_, _ = d.crc.Write(b)
+	}
+}
+
+func (d *decoder) u8() uint8 { d.read(d.buf[:1]); return d.buf[0] }
+func (d *decoder) u32() uint32 {
+	d.read(d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+func (d *decoder) u64() uint64 {
+	d.read(d.buf[:8])
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+func (d *decoder) i32() int32   { return int32(d.u32()) }
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// sliceLen reads a length prefix and validates it against maxSliceLen.
+func (d *decoder) sliceLen() int {
+	n := d.u32()
+	if d.err == nil && n > maxSliceLen {
+		d.err = fmt.Errorf("length prefix %d exceeds the sanity bound %d: file is corrupt", n, maxSliceLen)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str() string {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, 0, min(n, allocChunk))
+	var chunk [256]byte
+	for len(b) < n && d.err == nil {
+		c := chunk[:min(n-len(b), len(chunk))]
+		d.read(c)
+		b = append(b, c...)
+	}
+	return string(b)
+}
+
+func (d *decoder) f64s() []float64 {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, min(n, allocChunk))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.f64())
+	}
+	return out
+}
+
+func (d *decoder) i32s() []int {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, 0, min(n, allocChunk))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, int(d.i32()))
+	}
+	return out
+}
+
+func (d *decoder) points() []geom.Point {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]geom.Point, 0, min(n, allocChunk))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, geom.Point{X: d.f64(), Y: d.f64()})
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/nncircle"
+)
+
+// sample builds a snapshot exercising every field, including a measure with
+// capacity context.
+func sample() *Snapshot {
+	return &Snapshot{
+		MapVersion:    7,
+		Metric:        geom.L1,
+		Monochromatic: false,
+		Algorithm:     "crest",
+		Workers:       3,
+		Measure: influence.Spec{
+			Kind: "capacity",
+			Capacity: &influence.CapacityContext{
+				Assignment:          []int{0, 1, 0},
+				Capacities:          []float64{2.5, 1},
+				NewFacilityCapacity: 4,
+			},
+		},
+		Clients:    []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: -5, Y: 0.25}},
+		Facilities: []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 10}},
+		Circles: []nncircle.NNCircle{
+			{Client: 0, Facility: 0, Circle: geom.NewCircle(geom.Pt(1, 2), 2.23, geom.L1)},
+			{Client: 1, Facility: 1, Circle: geom.NewCircle(geom.Pt(3, 4), 9.2, geom.L1)},
+			{Client: 2, Facility: 0, Circle: geom.NewCircle(geom.Pt(-5, 0.25), 5.25, geom.L1)},
+		},
+		Labels: []core.Label{
+			{Region: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Point: geom.Pt(0.5, 0.5), RNN: []int{0, 2}, Heat: 2},
+			{Region: geom.Rect{MinX: 1, MinY: 0, MaxX: 2, MaxY: 3}, Point: geom.Pt(1.5, 1.5), RNN: []int{1}, Heat: 1},
+		},
+		MaxHeat:  2,
+		MaxLabel: core.Label{Region: geom.Rect{MaxX: 1, MaxY: 1}, Point: geom.Pt(0.5, 0.5), RNN: []int{0, 2}, Heat: 2},
+		Stats: core.Stats{
+			Circles: 3, Events: 12, Labelings: 2, InfluenceCalls: 2,
+			MaxRNNSetSize: 2, Duration: 1234 * time.Microsecond,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	t.Parallel()
+	want := sample()
+	var buf bytes.Buffer
+	if err := want.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	t.Parallel()
+	want := sample()
+	path := filepath.Join(t.TempDir(), "m.snap")
+	if err := want.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("file round-trip mismatch")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := sample().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, err := Decode(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("Decode of bad magic: %v, want magic error", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint16(b[4:6], Version+1)
+		if _, err := Decode(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("Decode of future version: %v, want version error", err)
+		}
+	})
+	t.Run("flipped body byte", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[len(b)/2] ^= 0xff
+		if _, err := Decode(bytes.NewReader(b)); err == nil {
+			t.Error("Decode of corrupted body succeeded, want checksum or parse error")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Decode(bytes.NewReader(good[:len(good)/2])); err == nil {
+			t.Error("Decode of truncated file succeeded")
+		}
+	})
+	t.Run("insane length prefix", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		// The algorithm-string length prefix sits right after
+		// magic(4)+version(2)+mapVersion(8)+metric(1)+flags(1).
+		binary.LittleEndian.PutUint32(b[16:20], 1<<30)
+		if _, err := Decode(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "sanity") {
+			t.Errorf("Decode with huge length prefix: %v, want sanity-bound error", err)
+		}
+	})
+}
+
+func walRecords() []Record {
+	return []Record{
+		{Version: 2, AddClients: []geom.Point{{X: 5, Y: 6}}},
+		{Version: 3, RemoveClients: []int{2}, AddFacilities: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}},
+		{Version: 4, RemoveFacilities: []int{0}},
+	}
+}
+
+func TestWALAppendReopen(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL has %d records", len(recs))
+	}
+	want := walRecords()
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed records = %+v, want %+v", got, want)
+	}
+
+	// Appending after reopen extends the log.
+	extra := Record{Version: 5, AddClients: []geom.Point{{X: 9, Y: 9}}}
+	if err := w2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, got, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 || !reflect.DeepEqual(got[len(got)-1], extra) {
+		t.Errorf("after append-after-reopen got %d records, want %d", len(got), len(want)+1)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := walRecords()
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Simulate a crash mid-append: half a frame of garbage at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0, 0, 0, 0xde}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore, _ := os.Stat(path)
+
+	w2, got, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL on torn file: %v", err)
+	}
+	defer w2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("torn tail dropped records: got %d, want %d", len(got), len(want))
+	}
+	sizeAfter, _ := os.Stat(path)
+	if sizeAfter.Size() >= sizeBefore.Size() {
+		t.Errorf("torn tail not truncated: %d -> %d bytes", sizeBefore.Size(), sizeAfter.Size())
+	}
+	// The reopened WAL must be appendable and clean.
+	if err := w2.Append(Record{Version: 5}); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range walRecords() {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if err := w.Append(Record{Version: 9}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, got, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Version != 9 {
+		t.Errorf("after reset+append got %+v, want one record at version 9", got)
+	}
+}
+
+func TestWALShortHeaderReinitialized(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "m.wal")
+	// A crash between file creation and the header write leaves a short
+	// file; it must be re-initialized, not refused.
+	if err := os.WriteFile(path, []byte{'R', 'N'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL on torn header: %v", err)
+	}
+	defer w.Close()
+	if len(recs) != 0 {
+		t.Fatalf("torn-header WAL yielded %d records", len(recs))
+	}
+	if err := w.Append(Record{Version: 2}); err != nil {
+		t.Fatalf("append after reinit: %v", err)
+	}
+}
+
+func TestWALRejectsBadLengthMidFile(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range walRecords() {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first frame's length field with an absurd value. Valid
+	// acknowledged records follow it, so this must be an error — truncating
+	// here would silently discard them.
+	binary.LittleEndian.PutUint32(b[walHeaderLen:walHeaderLen+4], 1<<30)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("OpenWAL on bad mid-file length: %v, want corruption error", err)
+	}
+}
+
+func TestWALRejectsMiddleCorruption(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range walRecords() {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload (frame starts right
+	// after the 6-byte header; payload starts 8 bytes later).
+	b[walHeaderLen+8] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("OpenWAL on mid-file corruption: %v, want corruption error", err)
+	}
+}
