@@ -3,18 +3,18 @@ GO ?= go
 # BENCH_OUT is where `make bench` writes its JSON snapshot; each PR bumps the
 # default instead of editing the recipe. Override per run:
 #   make bench BENCH_OUT=/tmp/bench.json
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 # BENCH_BASELINE is the committed baseline `make bench-regress` gates against.
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR5.json
 # GATE_BENCH selects the hot-path benchmarks the regression gate watches;
 # MAX_REGRESS is the time/op growth (percent) that fails it. CI reuses both
 # via `make bench-compare`, so the gate is defined exactly once.
-GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel
+GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkHeatAt
 MAX_REGRESS ?= 20
 # BENCH_NEW is the fresh run bench-compare gates against the baseline.
 BENCH_NEW ?= /tmp/bench_pr.json
 
-.PHONY: ci fmt-check vet lint build test-short-race test bench bench-gate bench-compare bench-regress bench-parallel fuzz-smoke serve
+.PHONY: ci fmt-check vet lint build test-short-race test cover bench bench-gate bench-compare bench-regress bench-parallel fuzz-smoke serve
 
 # ci is the gate every change must pass: formatting, vet, build, the fast
 # suite under the race detector (the strip-parallel sweep and the mutable
@@ -45,6 +45,11 @@ test-short-race:
 
 test:
 	$(GO) test ./...
+
+# cover enforces the per-package coverage floors (scripts/check_coverage.sh);
+# CI runs it as its own job. Raise the floors there when real coverage grows.
+cover:
+	./scripts/check_coverage.sh
 
 # bench snapshots the repo-level benchmark suite to $(BENCH_OUT) so the perf
 # trajectory is tracked in-repo. The benchmarks that gate this repo's own hot
@@ -88,11 +93,13 @@ bench-regress:
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkCRESTParallel -benchtime 2x .
 
-# fuzz-smoke replays the committed corpus and fuzzes the differential
-# Region Coloring harness for 30s (the CI budget); counterexamples land in
-# internal/core/testdata/fuzz/ as regression seeds.
+# fuzz-smoke replays the committed corpora and fuzzes the two differential
+# harnesses — Region Coloring vs the grid baseline, and slab point-location
+# vs the enclosure oracle — for 30s each (the CI budget); counterexamples
+# land under the packages' testdata/fuzz/ directories as regression seeds.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRegionColoring -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzPointLocation -fuzztime 30s ./internal/pointloc
 
 # serve starts heatmapd on a small seeded NYC workload with durable maps
 # (-load makes repeated `make serve` resume the previous session instead of

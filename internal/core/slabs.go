@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"slices"
+	"sort"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// Slab emission: the optional second product of the sweep engines.
+//
+// The CREST Sink receives only the Θ(k) labels of regions that *change* at an
+// event; a point-location structure needs the complete picture instead — for
+// every slab between consecutive events, the full y-ordered list of edges
+// cutting it and the RNN set of every gap. EmitSlabs streams exactly that,
+// reusing the sweeps' event machinery (buildEvents / buildL2Events), so the
+// slab decomposition consumed by internal/pointloc is derived from the same
+// arrangement CREST labels. The emission costs O(Σ per-slab edges), which is
+// the size of the emitted structure itself — it cannot be built cheaper than
+// it is written down.
+
+// ErrUnsupportedSlabMetric is returned when EmitSlabs receives L1 circles:
+// the rectilinear slab sweep operates in the rotated (L-infinity) coordinate
+// system, so callers must rotate L1 inputs with nncircle.RotateL1ToLInf
+// first and transform queries the same way.
+var ErrUnsupportedSlabMetric = errors.New("core: EmitSlabs requires LInf or L2 circles (rotate L1 inputs first)")
+
+// SlabSink consumes the slab decomposition of an arrangement, slab by slab in
+// ascending x order. It is the point-location counterpart of Sink: where Sink
+// receives the sweep's labeling operations, SlabSink receives the complete
+// per-slab interval lists a query structure is built from.
+//
+// For each slab the engine calls StartSlab once, then Edge once per edge in
+// ascending y order. Both calls may return false to abort the emission (e.g.
+// when a size cap is hit); EmitSlabs then returns ErrSlabsAborted.
+type SlabSink interface {
+	// StartSlab opens the slab spanning [x0, x1] in sweep space. actives
+	// holds the indexes (ascending) of every circle whose closed x-extent
+	// covers the whole slab; the slice is reused across calls — copy it to
+	// retain it.
+	StartSlab(x0, x1 float64, actives []int) bool
+	// Edge reports the next edge of the open slab in ascending y order.
+	// For rectilinear sweeps y is the coordinate of a distinct horizontal
+	// side (several coincident sides are coalesced into one call) and circle
+	// is -1. For L2 sweeps each arc is reported individually: circle is the
+	// arc's circle and upper distinguishes the two halves of its boundary; y
+	// is the arc's height at the slab midpoint (the build-time ordering key —
+	// the arc order cannot change inside a slab).
+	// above is the RNN set of the gap immediately above this edge; the sweep
+	// keeps mutating it after the call returns, so implementations must
+	// snapshot what they retain. The gap below a slab's first edge is always
+	// the empty set.
+	Edge(y float64, circle int, upper bool, above *oset.Set) bool
+}
+
+// ErrSlabsAborted is returned by EmitSlabs when the sink stopped the
+// emission.
+var ErrSlabsAborted = errors.New("core: slab emission aborted by sink")
+
+// EmitSlabs streams the full slab decomposition of the circles' arrangement
+// into sink. The circles must share one metric; LInf is swept directly, L2
+// with the arc sweep of crestl2.go. L1 inputs are rejected — rotate them into
+// the LInf system first (the slab structure lives in sweep space).
+func EmitSlabs(circles []nncircle.NNCircle, sink SlabSink) error {
+	metric, usable, err := validateInput(circles)
+	if err != nil {
+		return err
+	}
+	switch metric {
+	case geom.LInf:
+		return emitRectSlabs(usable, buildEvents(usable), sink, math.Inf(-1), math.Inf(1))
+	case geom.L2:
+		return emitL2Slabs(usable, sink)
+	default:
+		return ErrUnsupportedSlabMetric
+	}
+}
+
+// EmitSlabsRange is the partial-rebuild entry point for the rectilinear
+// sweep: it emits only the slabs whose left edge x satisfies lo <= x < hi,
+// warm-starting the active set at the first such event exactly like the
+// partition layer warm-starts a strip. Slabs outside the range are untouched
+// by a perturbation confined to [lo, hi] (the resweep correctness argument in
+// resweep.go), which is what makes patching a slab index sound.
+func EmitSlabsRange(circles []nncircle.NNCircle, sink SlabSink, lo, hi float64) error {
+	return EmitSlabsRanges(circles, sink, [][2]float64{{lo, hi}})
+}
+
+// EmitSlabsRanges emits the slabs of several disjoint [lo, hi) windows in
+// one pass: the event list is built and sorted once and shared across every
+// window, so a patch over k dirty spans pays one O(n log n) event
+// construction plus one O(n) warm-start scan per window instead of k full
+// reconstructions.
+func EmitSlabsRanges(circles []nncircle.NNCircle, sink SlabSink, windows [][2]float64) error {
+	metric, usable, err := validateInput(circles)
+	if err != nil {
+		return err
+	}
+	if metric != geom.LInf {
+		return ErrUnsupportedSlabMetric
+	}
+	events := buildEvents(usable)
+	for _, w := range windows {
+		if err := emitRectSlabs(usable, events, sink, w[0], w[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitRectSlabs walks the prebuilt rectilinear event list and emits every
+// slab whose left edge lies in [lo, hi). The active set is maintained as a
+// boolean per-circle membership; per slab the horizontal sides of the active
+// circles are sorted and walked bottom to top with a running RNN set,
+// coalescing coincident side coordinates into one edge.
+func emitRectSlabs(circles []nncircle.NNCircle, events []event, sink SlabSink, lo, hi float64) error {
+	first := sort.Search(len(events), func(i int) bool { return events[i].x >= lo })
+	last := sort.Search(len(events), func(i int) bool { return events[i].x >= hi })
+	if first >= last {
+		return nil
+	}
+	active := make([]bool, len(circles))
+	for i, nc := range circles {
+		// Active in the slab starting at events[first].x: inserted at or
+		// before it, removed strictly after it.
+		if nc.Circle.LeftX() <= events[first].x && nc.Circle.RightX() > events[first].x {
+			active[i] = true
+		}
+	}
+	var (
+		actives []int
+		sides   []sideRef
+		set     = oset.New()
+	)
+	for l := first; l < last; l++ {
+		ev := events[l]
+		for _, ci := range ev.insert {
+			active[ci] = true
+		}
+		for _, ci := range ev.remove {
+			active[ci] = false
+		}
+		xNext := ev.x
+		if l+1 < len(events) {
+			xNext = events[l+1].x
+		}
+		actives = actives[:0]
+		for ci := range active {
+			if active[ci] {
+				actives = append(actives, ci)
+			}
+		}
+		if !sink.StartSlab(ev.x, xNext, actives) {
+			return ErrSlabsAborted
+		}
+		sides = sides[:0]
+		for _, ci := range actives {
+			c := circles[ci].Circle
+			sides = append(sides,
+				sideRef{y: c.BottomY(), circle: ci, lower: true},
+				sideRef{y: c.TopY(), circle: ci, lower: false},
+			)
+		}
+		slices.SortFunc(sides, func(a, b sideRef) int {
+			switch {
+			case a.y < b.y:
+				return -1
+			case a.y > b.y:
+				return 1
+			default:
+				return a.circle - b.circle
+			}
+		})
+		set.Clear()
+		for k := 0; k < len(sides); {
+			y := sides[k].y
+			for k < len(sides) && sides[k].y == y {
+				client := circles[sides[k].circle].Client
+				if sides[k].lower {
+					set.Add(client)
+				} else {
+					set.Remove(client)
+				}
+				k++
+			}
+			if !sink.Edge(y, -1, false, set) {
+				return ErrSlabsAborted
+			}
+		}
+	}
+	return nil
+}
+
+// sideRef is one horizontal circle side inside a slab.
+type sideRef struct {
+	y      float64
+	circle int
+	lower  bool
+}
+
+// emitL2Slabs walks the Euclidean event list of buildL2Events and emits every
+// slab with its arcs ordered at the slab midpoint, exactly the ordering
+// sweepL2Events labels with (the order cannot change strictly inside a slab
+// because every boundary intersection is an event).
+func emitL2Slabs(circles []nncircle.NNCircle, sink SlabSink) error {
+	events := buildL2Events(circles)
+	active := make(map[int]bool)
+	var (
+		actives []int
+		arcs    []arcRef
+		set     = oset.New()
+	)
+	for l, ev := range events {
+		for _, ci := range ev.insert {
+			active[ci] = true
+		}
+		for _, ci := range ev.remove {
+			delete(active, ci)
+		}
+		xLeft := ev.x
+		xRight := xLeft
+		if l+1 < len(events) {
+			xRight = events[l+1].x
+		}
+		actives = actives[:0]
+		for ci := range active {
+			actives = append(actives, ci)
+		}
+		sort.Ints(actives)
+		if !sink.StartSlab(xLeft, xRight, actives) {
+			return ErrSlabsAborted
+		}
+		if xRight <= xLeft || len(actives) == 0 {
+			continue
+		}
+		xm := (xLeft + xRight) / 2
+		arcs = arcs[:0]
+		for _, ci := range actives {
+			c := circles[ci].Circle
+			yLo, yHi, ok := c.YAtX(xm)
+			if !ok {
+				// The midpoint numerically grazes the circle boundary; the
+				// circle stays in actives (so exact fallbacks still see it)
+				// but contributes no arcs, matching sweepL2Events.
+				continue
+			}
+			arcs = append(arcs,
+				arcRef{circle: ci, upper: false, y: yLo},
+				arcRef{circle: ci, upper: true, y: yHi},
+			)
+		}
+		slices.SortFunc(arcs, func(a, b arcRef) int {
+			switch {
+			case a.y < b.y:
+				return -1
+			case a.y > b.y:
+				return 1
+			case a.circle != b.circle:
+				return a.circle - b.circle
+			case !a.upper && b.upper:
+				return -1
+			case a.upper && !b.upper:
+				return 1
+			default:
+				return 0
+			}
+		})
+		set.Clear()
+		for _, a := range arcs {
+			applyArc(circles, a, set)
+			if !sink.Edge(a.y, a.circle, a.upper, set) {
+				return ErrSlabsAborted
+			}
+		}
+	}
+	return nil
+}
+
+// PerturbedSpans returns the merged sweep-space x-intervals covered by the
+// given perturbed circles, as [lo, hi] pairs in ascending order — the same
+// spans Resweep dirties (L1 circles are rotated into the LInf sweep system,
+// L2 spans carry the event-clustering epsilon). Package delta forwards them
+// so a slab point-location index can be patched over exactly the slabs the
+// resweep touched.
+func PerturbedSpans(perturbed []geom.Circle, metric geom.Metric) [][2]float64 {
+	spans := perturbedSpans(perturbed, metric)
+	out := make([][2]float64, len(spans))
+	for i, s := range spans {
+		out[i] = [2]float64{s.lo, s.hi}
+	}
+	return out
+}
+
+// CountSlabCells returns an upper bound on the slab-decomposition cell count
+// (the quantity pointloc's cell cap bounds) in O(events) after event
+// construction, without emitting anything: one cell per slab plus two per
+// edge, with the edge count of a slab bounded by two sides per active
+// circle. Point-location builders consult it to decline oversized
+// arrangements in milliseconds instead of discovering the cap mid-emission.
+func CountSlabCells(circles []nncircle.NNCircle) (int, error) {
+	metric, usable, err := validateInput(circles)
+	if err != nil {
+		if errors.Is(err, ErrNoCircles) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	cells := 0
+	switch metric {
+	case geom.LInf:
+		events := buildEvents(usable)
+		active := 0
+		for _, ev := range events {
+			active += len(ev.insert) - len(ev.remove)
+			cells += 1 + 4*active
+		}
+	case geom.L2:
+		events := buildL2Events(usable)
+		active := 0
+		for _, ev := range events {
+			active += len(ev.insert) - len(ev.remove)
+			cells += 1 + 4*active
+		}
+	default:
+		return 0, ErrUnsupportedSlabMetric
+	}
+	return cells, nil
+}

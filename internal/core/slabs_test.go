@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/oset"
+)
+
+// slabRecord is one slab as captured by recordingSlabSink.
+type slabRecord struct {
+	x0, x1  float64
+	actives []int
+	edges   []float64
+	arcs    [][2]int // (circle, upperFlag) for L2
+	gaps    [][]int  // RNN set above each edge
+}
+
+type recordingSlabSink struct {
+	slabs []slabRecord
+	limit int // abort after this many Edge calls when > 0
+	edges int
+}
+
+func (r *recordingSlabSink) StartSlab(x0, x1 float64, actives []int) bool {
+	r.slabs = append(r.slabs, slabRecord{x0: x0, x1: x1, actives: append([]int(nil), actives...)})
+	return true
+}
+
+func (r *recordingSlabSink) Edge(y float64, circle int, upper bool, above *oset.Set) bool {
+	r.edges++
+	if r.limit > 0 && r.edges > r.limit {
+		return false
+	}
+	sl := &r.slabs[len(r.slabs)-1]
+	sl.edges = append(sl.edges, y)
+	flag := 0
+	if upper {
+		flag = 1
+	}
+	sl.arcs = append(sl.arcs, [2]int{circle, flag})
+	sl.gaps = append(sl.gaps, above.Sorted())
+	return true
+}
+
+// TestEmitSlabsRangeMatchesFullEmission checks the partial-rebuild contract:
+// for any [lo, hi) window, EmitSlabsRange reproduces exactly the slabs of
+// the full emission whose left edge falls inside the window — same
+// boundaries, actives, edges and gap sets — despite its warm-started active
+// set.
+func TestEmitSlabsRangeMatchesFullEmission(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		ncs := fuzzInstance(t, rng.Int63(), 6+rng.Intn(30), 1+rng.Intn(6), geom.LInf)
+		full := &recordingSlabSink{}
+		if err := EmitSlabs(ncs, full); err != nil {
+			if err == ErrNoCircles {
+				continue
+			}
+			t.Fatalf("EmitSlabs: %v", err)
+		}
+		if len(full.slabs) == 0 {
+			continue
+		}
+		for w := 0; w < 4; w++ {
+			i := rng.Intn(len(full.slabs))
+			j := i + rng.Intn(len(full.slabs)-i)
+			lo := full.slabs[i].x0
+			hi := full.slabs[j].x0 // half-open: slab j itself is excluded
+			part := &recordingSlabSink{}
+			if err := EmitSlabsRange(ncs, part, lo, hi); err != nil {
+				t.Fatalf("EmitSlabsRange(%v, %v): %v", lo, hi, err)
+			}
+			if len(part.slabs) == 0 && i == j {
+				continue
+			}
+			if !reflect.DeepEqual(part.slabs, full.slabs[i:j]) {
+				t.Fatalf("trial=%d window=[%v,%v): range emission differs from full emission slice (%d vs %d slabs)",
+					trial, lo, hi, len(part.slabs), j-i)
+			}
+		}
+	}
+}
+
+// TestEmitSlabsRejectsL1 pins the contract that L1 inputs must be rotated by
+// the caller.
+func TestEmitSlabsRejectsL1(t *testing.T) {
+	t.Parallel()
+	ncs, err := nncircle.Compute(
+		[]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 1}},
+		[]geom.Point{{X: 1, Y: 2}},
+		geom.L1,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EmitSlabs(ncs, &recordingSlabSink{}); err != ErrUnsupportedSlabMetric {
+		t.Fatalf("EmitSlabs(L1) err = %v, want ErrUnsupportedSlabMetric", err)
+	}
+	if err := EmitSlabsRange(ncs, &recordingSlabSink{}, 0, 1); err != ErrUnsupportedSlabMetric {
+		t.Fatalf("EmitSlabsRange(L1) err = %v, want ErrUnsupportedSlabMetric", err)
+	}
+}
+
+// TestEmitSlabsAbort pins that a sink returning false stops the emission
+// with ErrSlabsAborted for both sweep families.
+func TestEmitSlabsAbort(t *testing.T) {
+	t.Parallel()
+	for _, metric := range []geom.Metric{geom.LInf, geom.L2} {
+		ncs := fuzzInstance(t, 5, 20, 3, metric)
+		if err := EmitSlabs(ncs, &recordingSlabSink{limit: 3}); err != ErrSlabsAborted {
+			t.Fatalf("metric=%v: err = %v, want ErrSlabsAborted", metric, err)
+		}
+	}
+}
+
+// TestEmitSlabsCoversArrangement cross-checks the L2 slab stream against
+// brute-force containment at slab-gap midpoints: the gap's recorded RNN set
+// must equal the set of circles containing the midpoint.
+func TestEmitSlabsCoversArrangement(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 6; trial++ {
+		metric := []geom.Metric{geom.LInf, geom.L2}[trial%2]
+		ncs := fuzzInstance(t, rng.Int63(), 5+rng.Intn(20), 1+rng.Intn(5), metric)
+		sink := &recordingSlabSink{}
+		if err := EmitSlabs(ncs, sink); err != nil {
+			if err == ErrNoCircles {
+				continue
+			}
+			t.Fatal(err)
+		}
+		for _, sl := range sink.slabs {
+			if sl.x1 <= sl.x0 {
+				continue
+			}
+			xm := (sl.x0 + sl.x1) / 2
+			for g := 0; g+1 < len(sl.edges); g++ {
+				lo, hi := sl.edges[g], sl.edges[g+1]
+				if hi <= lo {
+					continue
+				}
+				ym := (lo + hi) / 2
+				p := geom.Pt(xm, ym)
+				want := []int{}
+				for _, nc := range ncs {
+					if nc.Circle.Radius > 0 && nc.Circle.ContainsStrict(p) {
+						want = append(want, nc.Client)
+					}
+				}
+				if !reflect.DeepEqual(sl.gaps[g], want) {
+					t.Fatalf("metric=%v slab [%v,%v] gap %d midpoint %v: emitted %v, brute force %v",
+						metric, sl.x0, sl.x1, g, p, sl.gaps[g], want)
+				}
+			}
+		}
+	}
+}
+
+// TestEmitSlabsRangesMultiWindow pins the multi-window emission: two
+// disjoint windows emitted in one call equal the corresponding slices of the
+// full emission, in window order.
+func TestEmitSlabsRangesMultiWindow(t *testing.T) {
+	t.Parallel()
+	ncs := fuzzInstance(t, 17, 24, 4, geom.LInf)
+	full := &recordingSlabSink{}
+	if err := EmitSlabs(ncs, full); err != nil {
+		t.Fatal(err)
+	}
+	n := len(full.slabs)
+	if n < 8 {
+		t.Skip("instance too small")
+	}
+	a0, a1, b0, b1 := 1, n/3, n/2, n-1
+	multi := &recordingSlabSink{}
+	windows := [][2]float64{
+		{full.slabs[a0].x0, full.slabs[a1].x0},
+		{full.slabs[b0].x0, full.slabs[b1].x0},
+	}
+	if err := EmitSlabsRanges(ncs, multi, windows); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]slabRecord{}, full.slabs[a0:a1]...), full.slabs[b0:b1]...)
+	if !reflect.DeepEqual(multi.slabs, want) {
+		t.Fatalf("multi-window emission differs: got %d slabs, want %d", len(multi.slabs), len(want))
+	}
+}

@@ -106,6 +106,11 @@ type Stats struct {
 	// Empty when the arrangement is unchanged. Tile caches invalidate against
 	// it.
 	DirtyRect geom.Rect
+	// DirtySpans holds the merged sweep-space x-intervals the perturbed
+	// circles cover (core.PerturbedSpans) — exactly the intervals the resweep
+	// dirtied. The slab point-location index patches only the slabs starting
+	// inside them. Nil when the arrangement is unchanged.
+	DirtySpans [][2]float64
 	// Duration is the wall-clock time of the whole Apply.
 	Duration time.Duration
 }
@@ -283,6 +288,7 @@ func Apply(st State, d Delta, opts Options) (*Outcome, error) {
 			EventsTotal:    out.EventsTotal,
 			EventsReswept:  out.EventsReswept,
 			DirtyRect:      dirty,
+			DirtySpans:     core.PerturbedSpans(perturbed, opts.Metric),
 			Duration:       time.Since(started),
 		},
 	}, nil

@@ -27,6 +27,33 @@ type node struct {
 type Set struct {
 	head, tail *node
 	index      map[int]*node
+	// hash is the running order-independent content hash (see Hash),
+	// maintained incrementally: each member's 128-bit value hash is XORed in
+	// on Add and out again on Remove.
+	hash [2]uint64
+}
+
+// Hash returns a 128-bit order-independent hash of the set's members,
+// maintained in O(1) per mutation. Two equal sets always hash equally;
+// unequal sets collide with probability ~2^-128 per pair — far below any
+// realistic corpus — which is what lets the slab point-location builder
+// intern millions of per-face RNN sets without sorting or serializing each
+// one. Do not persist the hash: its mixing constants are an internal detail.
+func (s *Set) Hash() [2]uint64 { return s.hash }
+
+// valueHash maps one member to its 128-bit hash: two independent
+// splitmix64 finalizer chains over the value.
+func valueHash(v int) [2]uint64 {
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	x := uint64(v) * 0x9e3779b97f4a7c15
+	return [2]uint64{mix(x + 0x9e3779b97f4a7c15), mix(x ^ 0x6a09e667f3bcc909)}
 }
 
 // New returns an empty set. The optional members are added in order.
@@ -61,6 +88,9 @@ func (s *Set) Add(v int) bool {
 	}
 	s.tail = n
 	s.index[v] = n
+	vh := valueHash(v)
+	s.hash[0] ^= vh[0]
+	s.hash[1] ^= vh[1]
 	return true
 }
 
@@ -82,6 +112,9 @@ func (s *Set) Remove(v int) bool {
 		s.tail = n.prev
 	}
 	delete(s.index, v)
+	vh := valueHash(v)
+	s.hash[0] ^= vh[0]
+	s.hash[1] ^= vh[1]
 	return true
 }
 
@@ -91,6 +124,7 @@ func (s *Set) Remove(v int) bool {
 func (s *Set) Clear() {
 	s.head, s.tail = nil, nil
 	clear(s.index)
+	s.hash = [2]uint64{}
 }
 
 // Members returns the members in insertion order. The returned slice is a

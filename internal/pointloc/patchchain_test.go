@@ -1,0 +1,121 @@
+package pointloc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rnnheatmap/internal/core"
+	"rnnheatmap/internal/delta"
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/nncircle"
+)
+
+// TestPatchChainMatchesFreshBuild drives long random delta sequences (client
+// and facility insertions and swap-removals, with renumbering and
+// zero-radius transitions) through delta.Apply, patching the slab index at
+// every step with the reported dirty spans, and requires the patched index
+// to be structurally identical — slab boundaries, active lists, edges and
+// gap labels — to a from-scratch build over the updated circles.
+func TestPatchChainMatchesFreshBuild(t *testing.T) {
+	t.Parallel()
+	outers := int64(12)
+	if testing.Short() {
+		outers = 3
+	}
+	for outer := int64(0); outer < outers; outer++ {
+		rng := rand.New(rand.NewSource(62 + outer))
+		for _, metric := range []geom.Metric{geom.LInf, geom.L1} {
+			seed := rng.Int63()
+			wrng := rand.New(rand.NewSource(seed))
+			pt := func() geom.Point {
+				p := geom.Pt(wrng.Float64()*100, wrng.Float64()*100)
+				if wrng.Intn(3) == 0 {
+					p = geom.Pt(math.Round(p.X), math.Round(p.Y))
+				}
+				return p
+			}
+			facilities := make([]geom.Point, 8)
+			for i := range facilities {
+				facilities[i] = pt()
+			}
+			clients := make([]geom.Point, 60)
+			for i := range clients {
+				if wrng.Intn(12) == 0 {
+					clients[i] = facilities[wrng.Intn(8)]
+				} else {
+					clients[i] = pt()
+				}
+			}
+			circles, err := nncircle.Compute(clients, facilities, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix, err := Build(circles, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.CREST(circles, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := delta.State{Clients: clients, Facilities: facilities, Circles: circles, Labels: res.Labels}
+			for step := 0; step < 12; step++ {
+				var d delta.Delta
+				switch rng.Intn(4) {
+				case 0:
+					d.AddClients = []geom.Point{geom.Pt(rng.Float64()*100, rng.Float64()*100)}
+				case 1:
+					d.RemoveClients = []int{rng.Intn(len(st.Clients))}
+				case 2:
+					d.AddFacilities = []geom.Point{geom.Pt(rng.Float64()*100, rng.Float64()*100)}
+				case 3:
+					d.RemoveFacilities = []int{rng.Intn(len(st.Facilities))}
+				}
+				out, err := delta.Apply(st, d, delta.Options{Metric: metric})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := Build(out.State.Circles, nil, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				patched, err := ix.Patch(out.State.Circles, out.Stats.DirtySpans, 0, Options{})
+				if errors.Is(err, ErrPatchDeclined) {
+					// Over the splice threshold (or a span-less renumbering):
+					// the chain continues from a fresh build, exactly as
+					// heatmap's lazy rebuild would.
+					st = out.State
+					ix = fresh
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(patched.xs, fresh.xs) {
+					t.Fatalf("metric=%v step=%d: xs differ", metric, step)
+				}
+				for si := range fresh.slabs {
+					fs, ps := fresh.slabs[si], patched.slabs[si]
+					if !reflect.DeepEqual(fs.actives, ps.actives) {
+						t.Fatalf("metric=%v step=%d slab %d: actives fresh=%v patched=%v",
+							metric, step, si, fs.actives, ps.actives)
+					}
+					if !reflect.DeepEqual(fs.edges, ps.edges) {
+						t.Fatalf("metric=%v step=%d slab %d: edges differ", metric, step, si)
+					}
+					for g := range fs.gaps {
+						if fs.gaps[g].heat != ps.gaps[g].heat || !reflect.DeepEqual(fs.gaps[g].rnn, ps.gaps[g].rnn) {
+							t.Fatalf("metric=%v step=%d slab %d gap %d: fresh=%v patched=%v",
+								metric, step, si, g, fs.gaps[g].rnn, ps.gaps[g].rnn)
+						}
+					}
+				}
+				st = out.State
+				ix = patched
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package pointloc
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/oset"
+)
+
+// Query returns the heat and RNN set of the face containing p. The returned
+// slice is shared with the index for label-lookup answers — callers must not
+// mutate it (heatmap.Map copies it before handing it out).
+//
+// The generic path is two binary searches (slab by x, gap by y) and zero set
+// construction; queries within eps of a slab edge, gap edge or zero-radius
+// circle center take the exact closed-containment path instead, so answers
+// are byte-identical to the enclosure index for every input point.
+func (ix *Index) Query(p geom.Point) (float64, []int) {
+	q := ix.toSweep(p)
+	i, direct := ix.locateSlab(q.X)
+	if !direct {
+		return ix.exact(p, q.X)
+	}
+	if i < 0 {
+		return ix.empty.heat, ix.empty.rnn
+	}
+	l, ok := ix.slabs[i].lookup(ix, q)
+	if !ok {
+		return ix.exact(p, q.X)
+	}
+	return l.heat, l.rnn
+}
+
+// QueryBatch answers one Query per point, in input order. Points are sorted
+// by sweep-space x once and the slab list is walked monotonically, so a
+// batch of B points over E slabs costs O(B log B + E + B log λ) instead of B
+// independent slab searches. Answers are identical to per-point Query calls.
+//
+// Unlike Query, the returned RNN slices are caller-owned copies (packed into
+// chunked arenas while each label is still cache-hot), never views into the
+// index, so callers may retain and mutate them freely.
+func (ix *Index) QueryBatch(ps []geom.Point) ([]float64, [][]int) {
+	heats := make([]float64, len(ps))
+	rnns := make([][]int, len(ps))
+	arena := make([]int, 0, 4096)
+	ix.queryMany(ps, func(k int, heat float64, rnn []int) {
+		heats[k] = heat
+		if len(rnn) > cap(arena)-len(arena) {
+			arena = make([]int, 0, max(4096, len(rnn)))
+		}
+		start := len(arena)
+		arena = append(arena, rnn...)
+		rnns[k] = arena[start:len(arena):len(arena)]
+	})
+	return heats, rnns
+}
+
+// HeatBatch fills out[k] with the heat at ps[k] using the same monotone slab
+// walk as QueryBatch, skipping the RNN slices. len(out) must equal len(ps).
+func (ix *Index) HeatBatch(ps []geom.Point, out []float64) {
+	ix.queryMany(ps, func(k int, heat float64, _ []int) { out[k] = heat })
+}
+
+// batchKey carries one batch point through the sort: its sweep-space
+// coordinates plus its input position.
+type batchKey struct {
+	x, y float64
+	k    int32
+}
+
+// queryMany is the shared batch driver: transform, sort by sweep x, walk.
+func (ix *Index) queryMany(ps []geom.Point, emit func(k int, heat float64, rnn []int)) {
+	keys := make([]batchKey, 0, len(ps))
+	for k, p := range ps {
+		q := ix.toSweep(p)
+		if math.IsNaN(q.X) {
+			// A NaN breaks the sort's strict weak order and would corrupt
+			// the monotone walk for every other point. No circle contains a
+			// NaN coordinate (all comparisons are false), which is also
+			// exactly what a standalone Query resolves: the empty face.
+			emit(k, ix.empty.heat, ix.empty.rnn)
+			continue
+		}
+		keys = append(keys, batchKey{x: q.X, y: q.Y, k: int32(k)})
+	}
+	slices.SortFunc(keys, func(a, b batchKey) int {
+		switch {
+		case a.x < b.x:
+			return -1
+		case a.x > b.x:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// i is maintained as the result sort.SearchFloat64s(ix.xs, qx) would
+	// produce, so every point resolves exactly as a standalone Query. The
+	// advance gallops (exponential search from the previous position):
+	// neighboring points cost O(1), while a batch much sparser than the
+	// slab list — a far-off tile row, a zoomed-out viewport — costs
+	// O(log jump) per point instead of walking every boundary in between.
+	i := 0
+	for _, key := range keys {
+		k := int(key.k)
+		q := geom.Pt(key.x, key.y)
+		i = gallopGE(ix.xs, i, q.X)
+		si, direct := ix.slabAt(q.X, i)
+		if !direct {
+			h, rnn := ix.exact(ps[k], q.X)
+			emit(k, h, rnn)
+			continue
+		}
+		if si < 0 {
+			emit(k, ix.empty.heat, ix.empty.rnn)
+			continue
+		}
+		if l, ok := ix.slabs[si].lookup(ix, q); ok {
+			emit(k, l.heat, l.rnn)
+		} else {
+			h, rnn := ix.exact(ps[k], q.X)
+			emit(k, h, rnn)
+		}
+	}
+}
+
+// gallopGE returns the first index >= from with xs[idx] >= x (len(xs) when
+// none), equal to sort.SearchFloat64s(xs, x) whenever that result is >=
+// from: exponential steps from the previous position bracket the target,
+// then a binary search inside the bracket pins it.
+func gallopGE(xs []float64, from int, x float64) int {
+	if from >= len(xs) || xs[from] >= x {
+		return from
+	}
+	lo, step := from, 1
+	for lo+step < len(xs) && xs[lo+step] < x {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	return lo + 1 + sort.SearchFloat64s(xs[lo+1:hi], x)
+}
+
+// locateSlab finds the slab containing sweep-space x. It returns
+// direct=false when x lies within eps of a slab boundary or zero-radius
+// center (the exact path must answer), and i=-1 with direct=true when x is
+// strictly outside every slab (the answer is the empty label).
+func (ix *Index) locateSlab(x float64) (i int, direct bool) {
+	return ix.slabAt(x, sort.SearchFloat64s(ix.xs, x))
+}
+
+// slabAt resolves the slab for x given pos = sort.SearchFloat64s(ix.xs, x)
+// (the first slab edge >= x).
+func (ix *Index) slabAt(x float64, pos int) (i int, direct bool) {
+	ex := ix.eps(x)
+	if ix.nearZeroX(x, ex) {
+		return 0, false
+	}
+	if len(ix.xs) == 0 {
+		return -1, true
+	}
+	if pos < len(ix.xs) && ix.xs[pos]-x <= ex {
+		return 0, false
+	}
+	if pos > 0 && x-ix.xs[pos-1] <= ex {
+		return 0, false
+	}
+	if pos == 0 || pos == len(ix.xs) {
+		// Strictly outside every slab by more than eps: empty face.
+		return -1, true
+	}
+	return pos - 1, true
+}
+
+// nearZeroX reports whether x lies within ex of the sweep-space center of a
+// zero-radius circle.
+func (ix *Index) nearZeroX(x float64, ex float64) bool {
+	if len(ix.zeroXs) == 0 {
+		return false
+	}
+	j := sort.SearchFloat64s(ix.zeroXs, x)
+	if j < len(ix.zeroXs) && ix.zeroXs[j]-x <= ex {
+		return true
+	}
+	return j > 0 && x-ix.zeroXs[j-1] <= ex
+}
+
+// lookup resolves the gap containing the sweep-space point q, returning
+// ok=false when q lies within eps of a gap edge (exact path required). For
+// rectilinear slabs the edges are constants; for L2 slabs the arc heights
+// are evaluated at q.X — the arc order is invariant across the slab, so the
+// binary search remains valid at any interior x.
+func (sl *slab) lookup(ix *Index, q geom.Point) (*label, bool) {
+	ey := ix.eps(q.Y)
+	var j int
+	if sl.arcs == nil {
+		j = sort.SearchFloat64s(sl.edges, q.Y)
+		if j < len(sl.edges) && sl.edges[j]-q.Y <= ey {
+			return nil, false
+		}
+		if j > 0 && q.Y-sl.edges[j-1] <= ey {
+			return nil, false
+		}
+		return sl.gaps[j], true
+	}
+	j = sort.Search(len(sl.arcs), func(k int) bool {
+		return ix.arcYAt(sl.arcs[k], q.X) >= q.Y
+	})
+	if j < len(sl.arcs) && ix.arcYAt(sl.arcs[j], q.X)-q.Y <= ey {
+		return nil, false
+	}
+	if j > 0 && q.Y-ix.arcYAt(sl.arcs[j-1], q.X) <= ey {
+		return nil, false
+	}
+	return sl.gaps[j], true
+}
+
+// arcYAt evaluates an arc's boundary height at sweep-space x. Inside a
+// slab's interior |x - cx| < r is guaranteed (the circle's extreme is an
+// event bounding the slab); the radicand is clamped defensively anyway.
+func (ix *Index) arcYAt(a arcEdge, x float64) float64 {
+	c := ix.sweepAll[a.circle].Circle
+	dx := x - c.Center.X
+	h := math.Sqrt(math.Max(0, c.Radius*c.Radius-dx*dx))
+	if a.upper {
+		return c.Center.Y + h
+	}
+	return c.Center.Y - h
+}
+
+// exact answers a query on the slow path: collect every circle that could
+// contain p (the actives of the slabs within eps of sweep x, plus nearby
+// zero-radius circles), test closed containment against the original-space
+// geometry — exactly the enclosure index's test — and evaluate the measure
+// over the set assembled in ascending client order. sx is p's sweep-space
+// x-coordinate.
+func (ix *Index) exact(p geom.Point, sx float64) (float64, []int) {
+	ex := ix.eps(sx)
+	lo, hi := sx-ex, sx+ex
+	var cand []int32
+	i := sort.SearchFloat64s(ix.xs, lo)
+	if i > 0 {
+		i-- // the slab opening before lo may span into the window
+	}
+	for ; i < len(ix.slabs) && ix.xs[i] <= hi; i++ {
+		cand = append(cand, ix.slabs[i].actives...)
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+	matched := []int{}
+	var prev int32 = -1
+	for _, ci := range cand {
+		if ci == prev {
+			continue
+		}
+		prev = ci
+		if ix.all[ci].Circle.Contains(p) {
+			matched = append(matched, ix.all[ci].Client)
+		}
+	}
+	if len(ix.zeroXs) > 0 {
+		j := sort.SearchFloat64s(ix.zeroXs, lo)
+		for ; j < len(ix.zeros) && ix.zeroXs[j] <= hi; j++ {
+			if ix.zeros[j].Circle.Contains(p) {
+				matched = append(matched, ix.zeros[j].Client)
+			}
+		}
+	}
+	// Ascending client order is the canonical evaluation order of the
+	// enclosure path; sort before folding into the measure so floats match
+	// bit for bit.
+	sort.Ints(matched)
+	return ix.measure.Influence(oset.FromSorted(matched)), matched
+}

@@ -9,6 +9,7 @@ import (
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
 	"rnnheatmap/internal/oset"
+	"rnnheatmap/internal/pointloc"
 )
 
 // Renderer rasterizes arbitrary sub-rectangles of one heat map against a
@@ -21,7 +22,22 @@ type Renderer struct {
 	index   enclosure.Index
 	measure influence.Measure
 	bounds  geom.Rect
+	pl      *pointloc.Index
 	calls   atomic.Int64
+}
+
+// UsePointLoc attaches a slab point-location index over the same circles and
+// measure. Rasterization then resolves each pixel row with one monotone walk
+// over the slab decomposition (precomputed face heats, no per-pixel
+// enclosure query or RNN-set construction) instead of a stabbing query per
+// pixel; the output is byte-identical either way, as the index implements
+// the same closed boundary convention as the enclosure path. Call it before
+// the first Render (heatmap.Map does, under its renderer-construction
+// once). A nil index is ignored.
+func (rd *Renderer) UsePointLoc(ix *pointloc.Index) {
+	if ix != nil {
+		rd.pl = ix
+	}
 }
 
 // NewRenderer builds a Renderer over the NN-circles. index may be nil, in
@@ -88,6 +104,13 @@ func (rd *Renderer) Render(bounds geom.Rect, width, height int) (*Raster, error)
 		y := bounds.MaxY - (float64(py)+0.5)*dy
 		for px := 0; px < width; px++ {
 			centers[px] = geom.Pt(bounds.MinX+(float64(px)+0.5)*dx, y)
+		}
+		if rd.pl != nil {
+			// One monotone slab walk per row: the centers ascend in x, which
+			// ascends in sweep space under every supported metric, so the
+			// batch touches each slab once and reads precomputed face heats.
+			rd.pl.HeatBatch(centers, r.Values[py*width:(py+1)*width])
+			continue
 		}
 		for px, ids := range rd.index.EnclosingBatch(centers) {
 			set.Clear()

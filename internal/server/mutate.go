@@ -207,7 +207,7 @@ func (s *Server) mutate(inst *mapInstance, w http.ResponseWriter, r *http.Reques
 		EventsTotal:    stats.EventsTotal,
 		EventsReswept:  stats.EventsReswept,
 		TilesRetained:  retained,
-		DirtyRect:      toRectJSON(stats.DirtyRect),
+		DirtyRect:      toRectJSON(finiteRect(stats.DirtyRect)),
 		DurationMS:     float64(time.Since(started)) / float64(time.Millisecond),
 	})
 }

@@ -371,6 +371,24 @@ type statsResponse struct {
 	Build         buildStats  `json:"build"`
 	Heat          heatSummary `json:"heat"`
 	Tiles         tileStats   `json:"tiles"`
+	QueryIndex    queryIndex  `json:"query_index"`
+}
+
+// queryIndex describes the point-query path serving /heat, /heat/batch and
+// tile rasterization: the slab point-location index (O(log n) label lookups)
+// or the enclosure fallback (stabbing queries) when the index is disabled or
+// declined to build.
+type queryIndex struct {
+	Path  string `json:"path"` // "slab" or "enclosure"
+	Slabs int    `json:"slabs,omitempty"`
+	Cells int    `json:"cells,omitempty"`
+}
+
+func queryIndexOf(m *heatmap.Map) queryIndex {
+	if built, slabs, cells := m.SlabIndexStats(); built {
+		return queryIndex{Path: "slab", Slabs: slabs, Cells: cells}
+	}
+	return queryIndex{Path: "enclosure"}
 }
 
 // heatSummary is the heat distribution over the labeled regions.
@@ -411,6 +429,18 @@ type rectJSON struct {
 
 func toRectJSON(r geom.Rect) rectJSON {
 	return rectJSON{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// finiteRect maps the empty rectangle's infinite sentinels to the zero
+// rectangle. encoding/json rejects non-finite numbers, and an update that
+// perturbs no circles (e.g. a facility opened where it captures no client)
+// reports an empty dirty rectangle — without the mapping the mutation
+// response would die mid-encode and reach the client as a bodyless 200.
+func finiteRect(r geom.Rect) geom.Rect {
+	if r.IsEmpty() {
+		return geom.Rect{}
+	}
+	return r
 }
 
 func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
@@ -454,6 +484,7 @@ func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.R
 			Coalesced:   waited,
 			Renders:     inst.renders.Load(),
 		},
+		QueryIndex: queryIndexOf(st.m),
 	})
 }
 
