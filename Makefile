@@ -3,14 +3,17 @@ GO ?= go
 # BENCH_OUT is where `make bench` writes its JSON snapshot; each PR bumps the
 # default instead of editing the recipe. Override per run:
 #   make bench BENCH_OUT=/tmp/bench.json
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 # BENCH_BASELINE is the committed baseline `make bench-regress` gates against.
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR6.json
 # GATE_BENCH selects the hot-path benchmarks the regression gate watches;
-# MAX_REGRESS is the time/op growth (percent) that fails it. CI reuses both
-# via `make bench-compare`, so the gate is defined exactly once.
-GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkHeatAt
+# MAX_REGRESS is the time/op growth (percent) that fails it, and
+# MAX_ALLOC_REGRESS the allocs/op growth (only checked for benchmarks whose
+# baseline recorded allocation metrics). CI reuses all three via
+# `make bench-compare`, so the gate is defined exactly once.
+GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt
 MAX_REGRESS ?= 20
+MAX_ALLOC_REGRESS ?= 20
 # BENCH_NEW is the fresh run bench-compare gates against the baseline.
 BENCH_NEW ?= /tmp/bench_pr.json
 
@@ -80,7 +83,7 @@ bench-gate:
 # disappeared.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -bench '$(GATE_BENCH)' -max-regress $(MAX_REGRESS) \
-		$(BENCH_BASELINE) $(BENCH_NEW)
+		-max-alloc-regress $(MAX_ALLOC_REGRESS) $(BENCH_BASELINE) $(BENCH_NEW)
 
 # bench-regress is the full CI perf gate: re-run the gated benchmarks, then
 # compare.

@@ -240,6 +240,32 @@ func BenchmarkCRESTParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCRESTScaling is the scaling gate of the interned, pooled,
+// weight-partitioned sweep: a fixed worker ladder (1, 2, 4, 8 — strip counts,
+// not CPUs, so the ladder is identical on every runner) over a 50k-circle
+// uniform workload, with allocation metrics on. The bench-regress gate
+// watches both ns/op and allocs/op of every rung; the committed baseline
+// (BENCH_PR6.json) records the post-interning numbers, so any change that
+// reintroduces per-label allocation fails CI even if wall time stays flat
+// on the 1-core runner.
+func BenchmarkCRESTScaling(b *testing.B) {
+	ncs := benchWorkload(b, "Uniform", 50000, 1500, geom.LInf)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := core.Options{Measure: influence.Size(), DiscardLabels: true, Workers: w}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.CREST(ncs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = res
+			}
+		})
+	}
+}
+
 // BenchmarkAblationLabeling quantifies the changed-interval optimization
 // (Section V-C): the number of region-labeling operations of CREST versus
 // CREST-A and versus the baseline's grid cells, reported as custom metrics.

@@ -10,7 +10,9 @@
 //
 // With -compare it instead gates performance regressions between two such
 // documents: benchmarks (matched by -bench) whose ns/op grew by more than
-// -max-regress percent, or that disappeared, fail the comparison and exit
+// -max-regress percent, whose allocs/op grew by more than -max-alloc-regress
+// percent (checked only when both documents report it, i.e. the benchmark
+// ran with -benchmem), or that disappeared, fail the comparison and exit
 // nonzero. CI runs it against the committed baseline on every PR:
 //
 //	go run ./cmd/benchjson -compare -bench 'ApplyDelta|TileServe' -max-regress 20 OLD.json NEW.json
@@ -55,6 +57,7 @@ func main() {
 		compareMode = flag.Bool("compare", false, "compare two benchjson documents (args: OLD.json NEW.json) instead of converting stdin")
 		benchRE     = flag.String("bench", ".", "in -compare mode, regexp selecting the benchmarks the gate applies to")
 		maxRegress  = flag.Float64("max-regress", 20, "in -compare mode, fail when ns/op grew by more than this percentage")
+		maxAlloc    = flag.Float64("max-alloc-regress", 20, "in -compare mode, fail when allocs/op grew by more than this percentage (skipped for benchmarks without allocation metrics)")
 	)
 	flag.Parse()
 
@@ -63,7 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare takes exactly two arguments: OLD.json NEW.json")
 			os.Exit(2)
 		}
-		ok, err := compareFiles(flag.Arg(0), flag.Arg(1), *benchRE, *maxRegress, os.Stdout)
+		ok, err := compareFiles(flag.Arg(0), flag.Arg(1), *benchRE, *maxRegress, *maxAlloc, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -158,11 +161,12 @@ func normalizeName(name string) string {
 }
 
 // compareFiles gates new against old: every old benchmark matching pattern
-// must still exist in new, and its ns/op must not have grown by more than
-// maxRegress percent. Names are compared modulo the -GOMAXPROCS suffix. It
-// prints one line per compared benchmark and returns whether the gate
-// passed.
-func compareFiles(oldPath, newPath, pattern string, maxRegress float64, w io.Writer) (bool, error) {
+// must still exist in new, its ns/op must not have grown by more than
+// maxRegress percent, and — when both runs recorded allocation metrics — its
+// allocs/op must not have grown by more than maxAlloc percent. Names are
+// compared modulo the -GOMAXPROCS suffix. It prints one line per compared
+// metric and returns whether the gate passed.
+func compareFiles(oldPath, newPath, pattern string, maxRegress, maxAlloc float64, w io.Writer) (bool, error) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return false, fmt.Errorf("bad -bench pattern: %w", err)
@@ -213,6 +217,22 @@ func compareFiles(oldPath, newPath, pattern string, maxRegress float64, w io.Wri
 		}
 		fmt.Fprintf(w, "%s  %-60s %14.0f -> %14.0f ns/op  %+7.1f%% (limit +%.0f%%)\n",
 			status, name, oldNs, newNs, deltaPct, maxRegress)
+		// Allocation gate: only when both runs measured it — the old
+		// baseline may predate -benchmem on this benchmark, and a run
+		// without allocations reports no allocs/op at all.
+		oldAllocs, hasOld := old.Metrics["allocs/op"]
+		newAllocs, hasNew := cur.Metrics["allocs/op"]
+		if !hasOld || !hasNew || oldAllocs == 0 {
+			continue
+		}
+		allocPct := (newAllocs - oldAllocs) / oldAllocs * 100
+		status = "ok  "
+		if allocPct > maxAlloc {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s  %-60s %14.0f -> %14.0f allocs/op  %+3.1f%% (limit +%.0f%%)\n",
+			status, name, oldAllocs, newAllocs, allocPct, maxAlloc)
 	}
 	// A gated benchmark present only in the new run has no baseline to be
 	// judged against — it would stay unguarded forever if the gate passed

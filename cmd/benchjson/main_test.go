@@ -171,7 +171,7 @@ func TestCompareFiles(t *testing.T) {
 			"BenchmarkUnrelated-8":     500,  // 10x, but not matched
 		})
 		var out bytes.Buffer
-		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, 20, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func TestCompareFiles(t *testing.T) {
 			"BenchmarkCRESTParallel-8": 3000,
 		})
 		var out bytes.Buffer
-		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, 20, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +207,7 @@ func TestCompareFiles(t *testing.T) {
 			"BenchmarkTileServe-8":  2000,
 		})
 		var out bytes.Buffer
-		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, 20, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +218,7 @@ func TestCompareFiles(t *testing.T) {
 
 	t.Run("fails when pattern matches nothing", func(t *testing.T) {
 		var out bytes.Buffer
-		ok, err := compareFiles(oldPath, oldPath, "NoSuchBenchmark", 20, &out)
+		ok, err := compareFiles(oldPath, oldPath, "NoSuchBenchmark", 20, 20, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +228,7 @@ func TestCompareFiles(t *testing.T) {
 	})
 
 	t.Run("bad pattern errors", func(t *testing.T) {
-		if _, err := compareFiles(oldPath, oldPath, "(", 20, io.Discard); err == nil {
+		if _, err := compareFiles(oldPath, oldPath, "(", 20, 20, io.Discard); err == nil {
 			t.Error("bad regexp accepted")
 		}
 	})
@@ -242,7 +242,7 @@ func TestCompareFiles(t *testing.T) {
 			"BenchmarkTileServe/new-8": 50, // gated family, no baseline entry
 		})
 		var out bytes.Buffer
-		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, &out)
+		ok, err := compareFiles(oldPath, newPath, "ApplyDelta|TileServe|CRESTParallel", 20, 20, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,6 +251,59 @@ func TestCompareFiles(t *testing.T) {
 		}
 		if !strings.Contains(out.String(), "not in baseline") {
 			t.Errorf("report does not flag the unguarded benchmark:\n%s", out.String())
+		}
+	})
+
+	t.Run("allocs gate", func(t *testing.T) {
+		// writeDocMetrics gives full control of the metric map per benchmark.
+		writeDocMetrics := func(path string, byName map[string]map[string]float64) {
+			doc := document{}
+			for name, metrics := range byName {
+				doc.Benchmarks = append(doc.Benchmarks, result{Name: name, Runs: 3, Metrics: metrics})
+			}
+			b, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocOld := filepath.Join(dir, "alloc_old.json")
+		writeDocMetrics(allocOld, map[string]map[string]float64{
+			"BenchmarkCRESTScaling/workers=1-8": {"ns/op": 1000, "allocs/op": 100},
+			"BenchmarkApplyDelta-8":             {"ns/op": 500}, // no alloc metrics: alloc gate skipped
+		})
+
+		allocBad := filepath.Join(dir, "alloc_bad.json")
+		writeDocMetrics(allocBad, map[string]map[string]float64{
+			"BenchmarkCRESTScaling/workers=1-8": {"ns/op": 1000, "allocs/op": 150}, // +50% allocs, flat time
+			"BenchmarkApplyDelta-8":             {"ns/op": 500, "allocs/op": 9999},
+		})
+		var out bytes.Buffer
+		ok, err := compareFiles(allocOld, allocBad, "CRESTScaling|ApplyDelta", 20, 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("gate passed despite a 50%% allocs/op regression:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "allocs/op") {
+			t.Errorf("report does not name the alloc regression:\n%s", out.String())
+		}
+
+		allocOK := filepath.Join(dir, "alloc_ok.json")
+		writeDocMetrics(allocOK, map[string]map[string]float64{
+			"BenchmarkCRESTScaling/workers=1-8": {"ns/op": 1100, "allocs/op": 110}, // +10% both
+			"BenchmarkApplyDelta-8":             {"ns/op": 500, "allocs/op": 9999},
+		})
+		out.Reset()
+		ok, err = compareFiles(allocOld, allocOK, "CRESTScaling|ApplyDelta", 20, 20, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("gate failed within the alloc limit (baseline without allocs must not gate):\n%s", out.String())
 		}
 	})
 
@@ -268,7 +321,7 @@ func TestCompareFiles(t *testing.T) {
 			"BenchmarkCRESTParallel/workers=1-4":      3100,
 		})
 		var out bytes.Buffer
-		ok, err := compareFiles(basePath, newPath, "ApplyDelta|CRESTParallel", 20, &out)
+		ok, err := compareFiles(basePath, newPath, "ApplyDelta|CRESTParallel", 20, 20, &out)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
 	"strings"
 
 	"rnnheatmap/internal/experiment"
@@ -30,14 +29,11 @@ func main() {
 		scale    = flag.String("scale", "quick", "quick (minutes) or paper (hours)")
 		datasets = flag.String("datasets", "", "comma separated data sets (default: LA,NYC,Uniform,Zipfian)")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		workers  = flag.Int("workers", 1, "parallel sweep strips for the CREST runs of fig16-fig19 (0 = one per CPU; the parallel experiment sweeps this axis itself)")
+		workers  = flag.Int("workers", 0, "parallel sweep strips for the CREST runs of fig16-fig19 (0 = one per CPU, 1 = sequential; the parallel experiment sweeps this axis itself)")
 	)
 	flag.Parse()
 
 	cfg := experiment.SweepConfig{Seed: *seed, Workers: *workers}
-	if *workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +72,7 @@ func main() {
 		snapshotDir   = flag.String("snapshot-dir", "", "persist maps (snapshots + mutation WAL) in this directory")
 		load          = flag.Bool("load", false, "restore maps from -snapshot-dir at startup, replaying each WAL (skips the build when a default snapshot exists)")
 		saveEvery     = flag.Duration("save-every", 0, "autosave dirty maps to -snapshot-dir at this interval (0 = only on shutdown and explicit POST /maps/{name}/snapshot)")
+		pprofOn       = flag.Bool("pprof", false, "expose Go runtime profiling under /debug/pprof/ (see docs/PROFILING.md; do not enable on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,7 @@ func main() {
 		workers: *workers, seed: *seed,
 		tileSize: *tileSize, tileCache: *tileCache, colorMapName: *colorMapName,
 		mutable: *mutable, snapshotDir: *snapshotDir, load: *load, saveEvery: *saveEvery,
+		pprof: *pprofOn,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +104,7 @@ type config struct {
 	snapshotDir               string
 	load                      bool
 	saveEvery                 time.Duration
+	pprof                     bool
 }
 
 func run(cfg config) error {
@@ -153,9 +157,25 @@ func run(cfg config) error {
 		log.Printf("persisting maps to %s (autosave %v)", cfg.snapshotDir, cfg.saveEvery)
 	}
 
+	var handler http.Handler = srv
+	if cfg.pprof {
+		// The pprof handlers are registered on an explicit mux (not the
+		// package-level DefaultServeMux side effect) so they exist exactly
+		// when -pprof asks for them. Profile downloads are long-polling and
+		// verbose; they bypass the access log.
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("profiling enabled at /debug/pprof/ (see docs/PROFILING.md)")
+	}
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           logRequests(srv),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -437,7 +437,11 @@ func (m *Map) pointLoc() *pointloc.Index {
 	}
 	st := &plState{}
 	if !m.cfg.NoSlabIndex {
-		if ix, err := pointloc.Build(m.circles, m.measure, pointloc.Options{}); err == nil {
+		// Sharing the sweep's label pool lets the build reuse every RNN set
+		// and heat the sweep already interned instead of recomputing them
+		// (the pool is nil for maps restored from snapshots — Build then
+		// interns from scratch).
+		if ix, err := pointloc.Build(m.circles, m.measure, pointloc.Options{Pool: m.result.LabelPool()}); err == nil {
 			st.ix = ix
 		}
 	}

@@ -61,6 +61,7 @@ func runBaseline(circles []nncircle.NNCircle, col *collector) {
 	// Point-enclosure index over the NN-circles.
 	ix := enclosure.NewRTreeIndex(nncircle.Circles(circles))
 
+	set := oset.New()
 	col.res.Stats.GridCells = 0
 	for i := 0; i+1 < len(xs); i++ {
 		for j := 0; j+1 < len(ys); j++ {
@@ -71,11 +72,11 @@ func runBaseline(circles []nncircle.NNCircle, col *collector) {
 			// boundary, so strict and closed containment agree except for
 			// degenerate one-ulp cells produced by nearly coinciding sides,
 			// where the strict query is the one that matches a real region.
-			set := oset.New()
+			set.Clear()
 			for _, id := range ix.EnclosingStrict(cell.Center()) {
 				set.Add(circles[id].Client)
 			}
-			col.Label(cell, set)
+			col.LabelSet(cell, set)
 		}
 	}
 }

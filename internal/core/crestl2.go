@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/nncircle"
@@ -64,11 +65,31 @@ type arcRef struct {
 	y      float64 // position at the slab midpoint
 }
 
-// runCRESTL2 executes the full sequential L2 sweep.
-func runCRESTL2(circles []nncircle.NNCircle, sink Sink) {
+// l2Scratch is the reusable per-strip working memory of the Euclidean sweep:
+// the per-event arc status, position index, changed ranges and the running
+// RNN set, all retained across events (and, via the pool, across strips) so
+// the per-event rebuild allocates nothing at steady state.
+type l2Scratch struct {
+	arcs   []arcRef
+	pos    map[[2]int]int // (circle, upperFlag) -> status index
+	ranges [][2]int
+	set    *oset.Set
+}
+
+var l2ScratchPool = sync.Pool{
+	New: func() any {
+		return &l2Scratch{pos: make(map[[2]int]int), set: oset.New()}
+	},
+}
+
+// runCRESTL2 executes the full sequential L2 sweep, interning labels into
+// intern.
+func runCRESTL2(circles []nncircle.NNCircle, sink Sink, intern *LabelInterner) {
 	events := buildL2Events(circles)
 	sink.AddEvents(len(events))
-	sweepL2Events(circles, events, make(map[int]bool), sink, events[len(events)-1].x)
+	scratch := l2ScratchPool.Get().(*l2Scratch)
+	sweepL2Events(circles, events, make(map[int]bool), sink, intern, scratch, events[len(events)-1].x)
+	l2ScratchPool.Put(scratch)
 }
 
 // sweepL2Events advances the L2 sweep over a contiguous run of events.
@@ -76,7 +97,7 @@ func runCRESTL2(circles []nncircle.NNCircle, sink Sink) {
 // (empty for a full sweep, the straddling circles for a partition strip);
 // xAfter bounds the final event's slab on the right, exactly as in
 // sweepEvents.
-func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int]bool, sink Sink, xAfter float64) {
+func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int]bool, sink Sink, intern *LabelInterner, scratch *l2Scratch, xAfter float64) {
 	for l, ev := range events {
 		for _, ci := range ev.insert {
 			active[ci] = true
@@ -99,7 +120,7 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 
 		// Build the line status for this slab: two arcs per active circle,
 		// ordered by their height at the slab midpoint.
-		arcs := make([]arcRef, 0, 2*len(active))
+		arcs := scratch.arcs[:0]
 		for ci := range active {
 			c := circles[ci].Circle
 			lo, hi, ok := c.YAtX(xm)
@@ -113,6 +134,7 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 				arcRef{circle: ci, upper: true, y: hi},
 			)
 		}
+		scratch.arcs = arcs
 		if len(arcs) == 0 {
 			continue
 		}
@@ -126,7 +148,8 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 			return !arcs[i].upper && arcs[j].upper
 		})
 		// Locate each arc's position for changed-interval construction.
-		pos := make(map[[2]int]int, len(arcs)) // (circle, upperFlag) -> index
+		pos := scratch.pos
+		clear(pos)
 		for i, a := range arcs {
 			flag := 0
 			if a.upper {
@@ -136,7 +159,7 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 		}
 
 		// Changed intervals in index space.
-		var ranges [][2]int
+		ranges := scratch.ranges[:0]
 		for _, ci := range ev.insert {
 			lo, okLo := pos[[2]int{ci, 0}]
 			hi, okHi := pos[[2]int{ci, 1}]
@@ -160,6 +183,7 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 			}
 			ranges = append(ranges, [2]int{lo, hi})
 		}
+		scratch.ranges = ranges
 		if len(ranges) == 0 {
 			continue
 		}
@@ -167,7 +191,8 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 
 		// Label the pairs inside each changed range. The running RNN set is
 		// built with a single prefix walk shared by all ranges.
-		set := oset.New()
+		set := scratch.set
+		set.Clear()
 		next := 0
 		for _, r := range ranges {
 			for next <= r[0] {
@@ -179,7 +204,7 @@ func sweepL2Events(circles []nncircle.NNCircle, events []l2Event, active map[int
 				nxt := arcs[next]
 				if nxt.y > cur.y {
 					region := geom.Rect{MinX: xLeft, MinY: cur.y, MaxX: xRight, MaxY: nxt.y}
-					sink.Label(region, set)
+					sink.Label(region, intern.Intern(set))
 				}
 				applyArc(circles, nxt, set)
 				next++

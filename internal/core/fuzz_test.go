@@ -152,6 +152,9 @@ func FuzzRegionColoring(f *testing.F) {
 	f.Add(int64(909), int64(27), int64(7), int64(0), int64(1))
 	f.Add(int64(4242), int64(11), int64(1), int64(1), int64(0))
 	f.Add(int64(-77), int64(30), int64(4), int64(2), int64(1))
+	// Largest rectilinear instance at workers=3: the duplicate-heavy event
+	// lists drive the sweep through the interned-label strip path.
+	f.Add(int64(20260807), int64(27), int64(6), int64(0), int64(1))
 	f.Fuzz(func(t *testing.T, seed, nc, nf, metricSel, workerSel int64) {
 		nClients, nFacilities, metric, workers := fuzzParams(nc, nf, metricSel, workerSel)
 		checkDifferential(t, seed, nClients, nFacilities, metric, workers)

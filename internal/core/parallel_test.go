@@ -184,7 +184,7 @@ func TestSplitSpans(t *testing.T) {
 		events[i] = event{x: float64(i)}
 	}
 	for _, workers := range []int{1, 2, 3, 7, 16, 1000} {
-		spans := splitSpans(events, workers, xOf)
+		spans := splitSpans(events, workers, xOf, func(event) int { return 1 })
 		if len(spans) == 0 || len(spans) > workers {
 			t.Fatalf("workers=%d: got %d spans", workers, len(spans))
 		}
@@ -230,20 +230,27 @@ func TestStraddlingXWarmup(t *testing.T) {
 	if nncircle.StraddlingX(ncs, 7) != nil {
 		t.Fatalf("StraddlingX(7) should be empty")
 	}
-	status, cache := warmLineStatus(ncs, 9, true)
-	if _, noCache := warmLineStatus(ncs, 9, false); len(noCache) != 0 {
+	scratch := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(scratch)
+	status, cache := warmLineStatus(ncs, 9, NewLabelInterner(nil), scratch)
+	if _, noCache := warmLineStatus(ncs, 9, nil, scratch); len(noCache) != 0 {
 		t.Fatalf("CREST-A warm-up should not build cache records, got %d", len(noCache))
 	}
 	if status.tree.Len() != 2 {
 		t.Fatalf("warm status has %d sides, want 2", status.tree.Len())
 	}
-	if len(cache) != 2 {
-		t.Fatalf("warm cache has %d records, want 2", len(cache))
+	// Only anchor sides keep base records: circle 2's lower side (ID 4) is an
+	// anchor at the default stride, its upper side (ID 5) is not.
+	if !isAnchor(lowerSideID(2)) || isAnchor(upperSideID(2)) {
+		t.Fatalf("anchor layout changed; update this test's expectations")
 	}
-	if rec, ok := cache[lowerSideID(2)]; !ok || rec.Key() != "2" {
+	if len(cache) != 1 {
+		t.Fatalf("warm cache has %d records, want 1", len(cache))
+	}
+	if rec, ok := cache[lowerSideID(2)]; !ok || len(rec.RNN) != 1 || rec.RNN[0] != 2 {
 		t.Fatalf("lower-side record = %v", rec)
 	}
-	if rec, ok := cache[upperSideID(2)]; !ok || rec.Key() != "" {
-		t.Fatalf("upper-side record = %v", rec)
+	if _, ok := cache[upperSideID(2)]; ok {
+		t.Fatalf("non-anchor upper side should not be cached")
 	}
 }

@@ -125,7 +125,7 @@ func (p *pruner) dfs(seed int, neighbors []int, depth int, in *oset.Set, inCircl
 		// other neighbor) exist in the arrangement?
 		if pt, ok := p.regionExists(inCircles); ok {
 			region := geom.Rect{MinX: pt.X, MinY: pt.Y, MaxX: pt.X, MaxY: pt.Y}
-			p.col.Label(region, in)
+			p.col.LabelSet(region, in)
 		}
 		return
 	}
@@ -207,6 +207,6 @@ func (p *pruner) resolveFromWitnesses() {
 			}
 		}
 		region := geom.Rect{MinX: pt.X, MinY: pt.Y, MaxX: pt.X, MaxY: pt.Y}
-		p.col.Label(region, set)
+		p.col.LabelSet(region, set)
 	}
 }

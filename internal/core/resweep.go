@@ -189,6 +189,11 @@ func resweepRect(circles []nncircle.NNCircle, opts Options, prior []Label, spans
 	} else if reswept == 0 {
 		return priorOutcome(circles, prior, len(events), started)
 	}
+	parent := newCollector(opts)
+	if toOriginal != nil {
+		parent.toOriginal = toOriginal
+	}
+	workers := opts.workerCount()
 	parts := make([][]*collector, len(ranges))
 	for i, r := range ranges {
 		evs := events[r.lo : r.hi+1]
@@ -196,15 +201,13 @@ func resweepRect(circles []nncircle.NNCircle, opts Options, prior []Label, spans
 		if r.hi+1 < len(events) {
 			xAfter = events[r.hi+1].x
 		}
-		strips := splitSpans(evs, opts.workerCount(), func(ev event) float64 { return ev.x })
+		strips := splitSpans(evs, workers*stripsPerWorker, func(ev event) float64 { return ev.x }, eventWeight)
 		strips[len(strips)-1].xAfter = xAfter
-		parts[i] = runStrips(strips, opts, toOriginal, func(st span[event], c *collector) {
-			status, cache := warmLineStatus(circles, st.events[0].x, true)
-			c.AddEvents(len(st.events))
-			sweepEvents(circles, st.events, status, cache, c, true, st.xAfter)
+		parts[i] = runStrips(strips, workers, parent, func(st span[event], c *collector) {
+			sweepStrip(circles, st, c, true)
 		})
 	}
-	return spliceOutcome(circles, prior, ranges, parts, len(events), started)
+	return spliceOutcome(circles, prior, ranges, parts, parent.intern, len(events), started)
 }
 
 // resweepL2 is the Euclidean counterpart of resweepRect.
@@ -219,6 +222,8 @@ func resweepL2(circles []nncircle.NNCircle, opts Options, prior []Label, spans [
 	} else if reswept == 0 {
 		return priorOutcome(circles, prior, len(events), started)
 	}
+	parent := newCollector(opts)
+	workers := opts.workerCount()
 	parts := make([][]*collector, len(ranges))
 	for i, r := range ranges {
 		evs := events[r.lo : r.hi+1]
@@ -226,18 +231,13 @@ func resweepL2(circles []nncircle.NNCircle, opts Options, prior []Label, spans [
 		if r.hi+1 < len(events) {
 			xAfter = events[r.hi+1].x
 		}
-		strips := splitSpans(evs, opts.workerCount(), func(ev l2Event) float64 { return ev.x })
+		strips := splitSpans(evs, workers*stripsPerWorker, func(ev l2Event) float64 { return ev.x }, l2EventWeight)
 		strips[len(strips)-1].xAfter = xAfter
-		parts[i] = runStrips(strips, opts, nil, func(st span[l2Event], c *collector) {
-			active := make(map[int]bool)
-			for _, ci := range nncircle.StraddlingX(circles, st.events[0].x) {
-				active[ci] = true
-			}
-			c.AddEvents(len(st.events))
-			sweepL2Events(circles, st.events, active, c, st.xAfter)
+		parts[i] = runStrips(strips, workers, parent, func(st span[l2Event], c *collector) {
+			sweepL2Strip(circles, st, c)
 		})
 	}
-	return spliceOutcome(circles, prior, ranges, parts, len(events), started)
+	return spliceOutcome(circles, prior, ranges, parts, parent.intern, len(events), started)
 }
 
 func reweptCount(ranges []eventRange, total int) (int, float64) {
@@ -258,7 +258,7 @@ func priorOutcome(circles []nncircle.NNCircle, prior []Label, eventsTotal int, s
 	labels := make([]Label, len(prior))
 	copy(labels, prior)
 	return &ResweepOutcome{
-		Result:      finalizeSpliced(circles, labels, eventsTotal, started),
+		Result:      finalizeSpliced(circles, labels, nil, eventsTotal, started),
 		EventsTotal: eventsTotal,
 	}
 }
@@ -269,7 +269,7 @@ func priorOutcome(circles []nncircle.NNCircle, prior []Label, eventsTotal int, s
 // inside its window. Prior labels are in emission order (non-decreasing
 // Region.MinX), so a single merge pass suffices and the spliced slice is in
 // full-sweep emission order.
-func spliceOutcome(circles []nncircle.NNCircle, prior []Label, ranges []eventRange, parts [][]*collector, eventsTotal int, started time.Time) *ResweepOutcome {
+func spliceOutcome(circles []nncircle.NNCircle, prior []Label, ranges []eventRange, parts [][]*collector, pool *LabelInterner, eventsTotal int, started time.Time) *ResweepOutcome {
 	labels := make([]Label, 0, len(prior))
 	reswept := 0
 	pi := 0
@@ -288,7 +288,7 @@ func spliceOutcome(circles []nncircle.NNCircle, prior []Label, ranges []eventRan
 	}
 	labels = append(labels, prior[pi:]...)
 	return &ResweepOutcome{
-		Result:        finalizeSpliced(circles, labels, eventsTotal, started),
+		Result:        finalizeSpliced(circles, labels, pool, eventsTotal, started),
 		EventsTotal:   eventsTotal,
 		EventsReswept: reswept,
 	}
@@ -297,9 +297,11 @@ func spliceOutcome(circles []nncircle.NNCircle, prior []Label, ranges []eventRan
 // finalizeSpliced builds the Result describing the spliced labels, with the
 // same maximum tie-breaking as the sequential collector (the first label in
 // emission order strictly exceeding the running maximum wins) and Stats as a
-// full run would report them.
-func finalizeSpliced(circles []nncircle.NNCircle, labels []Label, eventsTotal int, started time.Time) *Result {
-	res := &Result{Labels: labels, MaxHeat: math.Inf(-1)}
+// full run would report them. pool, when non-nil, is the label pool the
+// resweep interned the dirty-range labels into (partial — it only saw the
+// reswept sets — but a valid seed for downstream consumers).
+func finalizeSpliced(circles []nncircle.NNCircle, labels []Label, pool *LabelInterner, eventsTotal int, started time.Time) *Result {
+	res := &Result{Labels: labels, MaxHeat: math.Inf(-1), pool: pool}
 	for _, l := range labels {
 		if n := len(l.RNN); n > res.Stats.MaxRNNSetSize {
 			res.Stats.MaxRNNSetSize = n

@@ -2,7 +2,6 @@ package core
 
 import (
 	"rnnheatmap/internal/geom"
-	"rnnheatmap/internal/oset"
 )
 
 // Sink receives the output stream of a Region Coloring engine. The sweeps in
@@ -16,9 +15,10 @@ import (
 type Sink interface {
 	// Label records one region-labeling operation: a representative
 	// axis-aligned rectangle contained in a region of the arrangement,
-	// together with the region's RNN set. Implementations must snapshot the
-	// set; the sweep keeps mutating it after the call returns.
-	Label(region geom.Rect, rnn *oset.Set)
+	// together with the region's interned RNN label (see LabelInterner).
+	// The label is immutable and shared — implementations may retain it
+	// as-is, and must not modify it.
+	Label(region geom.Rect, lbl *Interned)
 	// AddEvents credits n processed sweep events to the run's statistics.
 	// The partition layer calls it once per strip, so the per-strip counts
 	// sum to the sequential event count.

@@ -50,11 +50,11 @@ type SlabSink interface {
 	// arc's circle and upper distinguishes the two halves of its boundary; y
 	// is the arc's height at the slab midpoint (the build-time ordering key —
 	// the arc order cannot change inside a slab).
-	// above is the RNN set of the gap immediately above this edge; the sweep
-	// keeps mutating it after the call returns, so implementations must
-	// snapshot what they retain. The gap below a slab's first edge is always
-	// the empty set.
-	Edge(y float64, circle int, upper bool, above *oset.Set) bool
+	// above is the interned label of the gap immediately above this edge —
+	// a pointer into the emission's LabelInterner pool, immutable and safe
+	// to retain as-is. The gap below a slab's first edge is always the
+	// empty-set label.
+	Edge(y float64, circle int, upper bool, above *Interned) bool
 }
 
 // ErrSlabsAborted is returned by EmitSlabs when the sink stopped the
@@ -62,19 +62,25 @@ type SlabSink interface {
 var ErrSlabsAborted = errors.New("core: slab emission aborted by sink")
 
 // EmitSlabs streams the full slab decomposition of the circles' arrangement
-// into sink. The circles must share one metric; LInf is swept directly, L2
-// with the arc sweep of crestl2.go. L1 inputs are rejected — rotate them into
-// the LInf system first (the slab structure lives in sweep space).
-func EmitSlabs(circles []nncircle.NNCircle, sink SlabSink) error {
+// into sink, interning every gap label into pool (nil means a fresh
+// size-measure pool — pass the pool of the measure the labels should carry,
+// e.g. the CREST run's Result.LabelPool, to share already-computed heats).
+// The circles must share one metric; LInf is swept directly, L2 with the arc
+// sweep of crestl2.go. L1 inputs are rejected — rotate them into the LInf
+// system first (the slab structure lives in sweep space).
+func EmitSlabs(circles []nncircle.NNCircle, sink SlabSink, pool *LabelInterner) error {
 	metric, usable, err := validateInput(circles)
 	if err != nil {
 		return err
 	}
+	if pool == nil {
+		pool = NewLabelInterner(nil)
+	}
 	switch metric {
 	case geom.LInf:
-		return emitRectSlabs(usable, buildEvents(usable), sink, math.Inf(-1), math.Inf(1))
+		return emitRectSlabs(usable, buildEvents(usable), sink, pool, math.Inf(-1), math.Inf(1))
 	case geom.L2:
-		return emitL2Slabs(usable, sink)
+		return emitL2Slabs(usable, sink, pool)
 	default:
 		return ErrUnsupportedSlabMetric
 	}
@@ -86,8 +92,8 @@ func EmitSlabs(circles []nncircle.NNCircle, sink SlabSink) error {
 // partition layer warm-starts a strip. Slabs outside the range are untouched
 // by a perturbation confined to [lo, hi] (the resweep correctness argument in
 // resweep.go), which is what makes patching a slab index sound.
-func EmitSlabsRange(circles []nncircle.NNCircle, sink SlabSink, lo, hi float64) error {
-	return EmitSlabsRanges(circles, sink, [][2]float64{{lo, hi}})
+func EmitSlabsRange(circles []nncircle.NNCircle, sink SlabSink, pool *LabelInterner, lo, hi float64) error {
+	return EmitSlabsRanges(circles, sink, pool, [][2]float64{{lo, hi}})
 }
 
 // EmitSlabsRanges emits the slabs of several disjoint [lo, hi) windows in
@@ -95,7 +101,7 @@ func EmitSlabsRange(circles []nncircle.NNCircle, sink SlabSink, lo, hi float64) 
 // window, so a patch over k dirty spans pays one O(n log n) event
 // construction plus one O(n) warm-start scan per window instead of k full
 // reconstructions.
-func EmitSlabsRanges(circles []nncircle.NNCircle, sink SlabSink, windows [][2]float64) error {
+func EmitSlabsRanges(circles []nncircle.NNCircle, sink SlabSink, pool *LabelInterner, windows [][2]float64) error {
 	metric, usable, err := validateInput(circles)
 	if err != nil {
 		return err
@@ -103,9 +109,12 @@ func EmitSlabsRanges(circles []nncircle.NNCircle, sink SlabSink, windows [][2]fl
 	if metric != geom.LInf {
 		return ErrUnsupportedSlabMetric
 	}
+	if pool == nil {
+		pool = NewLabelInterner(nil)
+	}
 	events := buildEvents(usable)
 	for _, w := range windows {
-		if err := emitRectSlabs(usable, events, sink, w[0], w[1]); err != nil {
+		if err := emitRectSlabs(usable, events, sink, pool, w[0], w[1]); err != nil {
 			return err
 		}
 	}
@@ -117,7 +126,7 @@ func EmitSlabsRanges(circles []nncircle.NNCircle, sink SlabSink, windows [][2]fl
 // boolean per-circle membership; per slab the horizontal sides of the active
 // circles are sorted and walked bottom to top with a running RNN set,
 // coalescing coincident side coordinates into one edge.
-func emitRectSlabs(circles []nncircle.NNCircle, events []event, sink SlabSink, lo, hi float64) error {
+func emitRectSlabs(circles []nncircle.NNCircle, events []event, sink SlabSink, pool *LabelInterner, lo, hi float64) error {
 	first := sort.Search(len(events), func(i int) bool { return events[i].x >= lo })
 	last := sort.Search(len(events), func(i int) bool { return events[i].x >= hi })
 	if first >= last {
@@ -187,7 +196,7 @@ func emitRectSlabs(circles []nncircle.NNCircle, events []event, sink SlabSink, l
 				}
 				k++
 			}
-			if !sink.Edge(y, -1, false, set) {
+			if !sink.Edge(y, -1, false, pool.Intern(set)) {
 				return ErrSlabsAborted
 			}
 		}
@@ -206,7 +215,7 @@ type sideRef struct {
 // slab with its arcs ordered at the slab midpoint, exactly the ordering
 // sweepL2Events labels with (the order cannot change strictly inside a slab
 // because every boundary intersection is an event).
-func emitL2Slabs(circles []nncircle.NNCircle, sink SlabSink) error {
+func emitL2Slabs(circles []nncircle.NNCircle, sink SlabSink, pool *LabelInterner) error {
 	events := buildL2Events(circles)
 	active := make(map[int]bool)
 	var (
@@ -272,7 +281,7 @@ func emitL2Slabs(circles []nncircle.NNCircle, sink SlabSink) error {
 		set.Clear()
 		for _, a := range arcs {
 			applyArc(circles, a, set)
-			if !sink.Edge(a.y, a.circle, a.upper, set) {
+			if !sink.Edge(a.y, a.circle, a.upper, pool.Intern(set)) {
 				return ErrSlabsAborted
 			}
 		}

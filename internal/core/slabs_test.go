@@ -7,7 +7,6 @@ import (
 
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/nncircle"
-	"rnnheatmap/internal/oset"
 )
 
 // slabRecord is one slab as captured by recordingSlabSink.
@@ -30,7 +29,7 @@ func (r *recordingSlabSink) StartSlab(x0, x1 float64, actives []int) bool {
 	return true
 }
 
-func (r *recordingSlabSink) Edge(y float64, circle int, upper bool, above *oset.Set) bool {
+func (r *recordingSlabSink) Edge(y float64, circle int, upper bool, above *Interned) bool {
 	r.edges++
 	if r.limit > 0 && r.edges > r.limit {
 		return false
@@ -42,7 +41,7 @@ func (r *recordingSlabSink) Edge(y float64, circle int, upper bool, above *oset.
 		flag = 1
 	}
 	sl.arcs = append(sl.arcs, [2]int{circle, flag})
-	sl.gaps = append(sl.gaps, above.Sorted())
+	sl.gaps = append(sl.gaps, append([]int{}, above.RNN...))
 	return true
 }
 
@@ -57,7 +56,7 @@ func TestEmitSlabsRangeMatchesFullEmission(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		ncs := fuzzInstance(t, rng.Int63(), 6+rng.Intn(30), 1+rng.Intn(6), geom.LInf)
 		full := &recordingSlabSink{}
-		if err := EmitSlabs(ncs, full); err != nil {
+		if err := EmitSlabs(ncs, full, nil); err != nil {
 			if err == ErrNoCircles {
 				continue
 			}
@@ -72,7 +71,7 @@ func TestEmitSlabsRangeMatchesFullEmission(t *testing.T) {
 			lo := full.slabs[i].x0
 			hi := full.slabs[j].x0 // half-open: slab j itself is excluded
 			part := &recordingSlabSink{}
-			if err := EmitSlabsRange(ncs, part, lo, hi); err != nil {
+			if err := EmitSlabsRange(ncs, part, nil, lo, hi); err != nil {
 				t.Fatalf("EmitSlabsRange(%v, %v): %v", lo, hi, err)
 			}
 			if len(part.slabs) == 0 && i == j {
@@ -98,10 +97,10 @@ func TestEmitSlabsRejectsL1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := EmitSlabs(ncs, &recordingSlabSink{}); err != ErrUnsupportedSlabMetric {
+	if err := EmitSlabs(ncs, &recordingSlabSink{}, nil); err != ErrUnsupportedSlabMetric {
 		t.Fatalf("EmitSlabs(L1) err = %v, want ErrUnsupportedSlabMetric", err)
 	}
-	if err := EmitSlabsRange(ncs, &recordingSlabSink{}, 0, 1); err != ErrUnsupportedSlabMetric {
+	if err := EmitSlabsRange(ncs, &recordingSlabSink{}, nil, 0, 1); err != ErrUnsupportedSlabMetric {
 		t.Fatalf("EmitSlabsRange(L1) err = %v, want ErrUnsupportedSlabMetric", err)
 	}
 }
@@ -112,7 +111,7 @@ func TestEmitSlabsAbort(t *testing.T) {
 	t.Parallel()
 	for _, metric := range []geom.Metric{geom.LInf, geom.L2} {
 		ncs := fuzzInstance(t, 5, 20, 3, metric)
-		if err := EmitSlabs(ncs, &recordingSlabSink{limit: 3}); err != ErrSlabsAborted {
+		if err := EmitSlabs(ncs, &recordingSlabSink{limit: 3}, nil); err != ErrSlabsAborted {
 			t.Fatalf("metric=%v: err = %v, want ErrSlabsAborted", metric, err)
 		}
 	}
@@ -128,7 +127,7 @@ func TestEmitSlabsCoversArrangement(t *testing.T) {
 		metric := []geom.Metric{geom.LInf, geom.L2}[trial%2]
 		ncs := fuzzInstance(t, rng.Int63(), 5+rng.Intn(20), 1+rng.Intn(5), metric)
 		sink := &recordingSlabSink{}
-		if err := EmitSlabs(ncs, sink); err != nil {
+		if err := EmitSlabs(ncs, sink, nil); err != nil {
 			if err == ErrNoCircles {
 				continue
 			}
@@ -168,7 +167,7 @@ func TestEmitSlabsRangesMultiWindow(t *testing.T) {
 	t.Parallel()
 	ncs := fuzzInstance(t, 17, 24, 4, geom.LInf)
 	full := &recordingSlabSink{}
-	if err := EmitSlabs(ncs, full); err != nil {
+	if err := EmitSlabs(ncs, full, nil); err != nil {
 		t.Fatal(err)
 	}
 	n := len(full.slabs)
@@ -181,7 +180,7 @@ func TestEmitSlabsRangesMultiWindow(t *testing.T) {
 		{full.slabs[a0].x0, full.slabs[a1].x0},
 		{full.slabs[b0].x0, full.slabs[b1].x0},
 	}
-	if err := EmitSlabsRanges(ncs, multi, windows); err != nil {
+	if err := EmitSlabsRanges(ncs, multi, nil, windows); err != nil {
 		t.Fatal(err)
 	}
 	want := append(append([]slabRecord{}, full.slabs[a0:a1]...), full.slabs[b0:b1]...)

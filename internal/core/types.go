@@ -80,7 +80,17 @@ type Result struct {
 	MaxLabel Label
 	// Stats describes the work performed.
 	Stats Stats
+	// pool is the label pool of the run (see LabelPool).
+	pool *LabelInterner
 }
+
+// LabelPool returns the interned-label pool the run emitted into, holding
+// every distinct RNN set encountered with its precomputed heat. Consumers
+// that re-derive per-face labels from the same arrangement — the slab
+// point-location builder above all — reuse it instead of re-sorting and
+// re-evaluating sets the sweep already interned. Nil when the result was not
+// produced by a sweep (e.g. restored from a snapshot).
+func (r *Result) LabelPool() *LabelInterner { return r.pool }
 
 // Options configures a Region Coloring run.
 type Options struct {
@@ -90,11 +100,12 @@ type Options struct {
 	// label and statistics are still produced. Use it for large benchmark
 	// runs where only timing and the maximum are needed.
 	DiscardLabels bool
-	// Workers is the number of concurrent sweep strips used by CREST,
+	// Workers is the number of concurrent sweep workers used by CREST,
 	// CREST-A and CREST-L2 (see partition.go). Zero or negative means
-	// runtime.GOMAXPROCS(0); 1 reproduces the exact sequential sweep. The
-	// comparison baselines (Baseline, PruningMax) always run sequentially.
-	// The results are identical for every worker count.
+	// "auto": one worker per CPU (runtime.GOMAXPROCS(0)); 1 reproduces the
+	// exact sequential sweep. The comparison baselines (Baseline,
+	// PruningMax) always run sequentially. The results are identical for
+	// every worker count.
 	Workers int
 }
 
@@ -129,6 +140,9 @@ var (
 type collector struct {
 	opts    Options
 	measure influence.Measure
+	// intern is the label pool of the run, shared by every strip collector
+	// of a parallel execution (LabelInterner is concurrency-safe).
+	intern  *LabelInterner
 	res     *Result
 	started time.Time
 	// toOriginal maps a sweep-space representative point back to the original
@@ -137,9 +151,11 @@ type collector struct {
 }
 
 func newCollector(opts Options) *collector {
+	measure := opts.measure()
 	c := &collector{
 		opts:       opts,
-		measure:    opts.measure(),
+		measure:    measure,
+		intern:     NewLabelInterner(measure),
 		res:        &Result{MaxHeat: math.Inf(-1)},
 		started:    time.Now(),
 		toOriginal: func(p geom.Point) geom.Point { return p },
@@ -147,42 +163,76 @@ func newCollector(opts Options) *collector {
 	return c
 }
 
-// Label records one region-labeling operation. rnn is snapshotted; callers
-// may keep mutating it afterwards.
-func (c *collector) Label(region geom.Rect, rnn *oset.Set) {
+// newStripCollector derives a per-strip collector from the run's outer
+// collector: it shares the label pool and the coordinate mapping but
+// accumulates into its own Result, so strips never contend on anything but
+// the interner shards.
+func newStripCollector(parent *collector) *collector {
+	return &collector{
+		opts:       parent.opts,
+		measure:    parent.measure,
+		intern:     parent.intern,
+		res:        &Result{MaxHeat: math.Inf(-1)},
+		toOriginal: parent.toOriginal,
+	}
+}
+
+// reserve presizes the label slice for an expected emission volume; a hint,
+// not a bound. No-op once emission has started or when labels are discarded.
+func (c *collector) reserve(n int) {
+	if c.opts.DiscardLabels || n <= 0 || c.res.Labels != nil {
+		return
+	}
+	c.res.Labels = make([]Label, 0, n)
+}
+
+// Label records one region-labeling operation. lbl is an interned label
+// shared with the pool; its fields are referenced, never copied or modified.
+// InfluenceCalls counts labeling operations (one heat consultation per
+// label), matching the paper's accounting even though interning evaluates
+// each distinct set only once.
+func (c *collector) Label(region geom.Rect, lbl *Interned) {
 	c.res.Stats.Labelings++
 	c.res.Stats.InfluenceCalls++
-	heat := c.measure.Influence(rnn)
-	if rnn.Len() > c.res.Stats.MaxRNNSetSize {
-		c.res.Stats.MaxRNNSetSize = rnn.Len()
+	heat := lbl.Heat
+	if n := len(lbl.RNN); n > c.res.Stats.MaxRNNSetSize {
+		c.res.Stats.MaxRNNSetSize = n
 	}
-	var lbl Label
+	var out Label
 	needLabel := !c.opts.DiscardLabels || heat > c.res.MaxHeat
 	if needLabel {
-		lbl = Label{
+		out = Label{
 			Region: region,
 			Point:  c.toOriginal(region.Center()),
-			RNN:    rnn.Sorted(),
+			RNN:    lbl.RNN,
 			Heat:   heat,
 		}
 	}
 	if !c.opts.DiscardLabels {
-		c.res.Labels = append(c.res.Labels, lbl)
+		c.res.Labels = append(c.res.Labels, out)
 	}
 	if heat > c.res.MaxHeat {
 		c.res.MaxHeat = heat
-		c.res.MaxLabel = lbl
+		c.res.MaxLabel = out
 	}
+}
+
+// LabelSet interns set and records the labeling — the entry point for the
+// non-sweep algorithms (baseline, pruning) that still assemble sets
+// per-region. The set is only read.
+func (c *collector) LabelSet(region geom.Rect, set *oset.Set) {
+	c.Label(region, c.intern.Intern(set))
 }
 
 // AddEvents credits n sweep events to the statistics.
 func (c *collector) AddEvents(n int) { c.res.Stats.Events += n }
 
-// finish stamps the duration and returns the result.
+// finish stamps the duration, attaches the label pool and returns the result.
 func (c *collector) finish() *Result {
 	if math.IsInf(c.res.MaxHeat, -1) {
 		c.res.MaxHeat = 0
 	}
+	c.res.pool = c.intern
 	c.res.Stats.Duration = time.Since(c.started)
 	return c.res
 }

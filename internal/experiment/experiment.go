@@ -57,8 +57,10 @@ type SweepConfig struct {
 	// enumeration work is capped.
 	PruningBudget int
 	// Workers is the strip-parallelism of the CREST runs (core.Options.
-	// Workers). 0 defaults to 1 so the sweeps stay comparable with the
-	// strictly sequential baselines; ParallelSweep varies it explicitly.
+	// Workers). 0 means auto — one worker per CPU (runtime.GOMAXPROCS(0)),
+	// the same default core.Options resolves; pass 1 explicitly for runs
+	// that must stay comparable with the strictly sequential baselines.
+	// ParallelSweep varies the axis itself and ignores this field.
 	Workers int
 }
 
@@ -73,7 +75,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 		c.BaselineLimit = 1 << 10
 	}
 	if c.Workers == 0 {
-		c.Workers = 1
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

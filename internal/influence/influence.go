@@ -16,6 +16,7 @@ package influence
 
 import (
 	"fmt"
+	"slices"
 
 	"rnnheatmap/internal/oset"
 )
@@ -28,6 +29,16 @@ type Measure interface {
 	// Influence returns the heat value for the given RNN set (identified by
 	// client indexes).
 	Influence(rnn *oset.Set) float64
+}
+
+// SortedMeasure is an optional fast path implemented by measures that can
+// evaluate their influence directly from an ascending, de-duplicated member
+// slice, without an oset.Set being materialized. InfluenceSorted(vals) must
+// return exactly the value Influence(oset.FromSorted(vals)) would — the
+// label interner of the sweep relies on the two being bit-identical. All
+// measures in this package implement it; adapters built with Func do not.
+type SortedMeasure interface {
+	InfluenceSorted(rnn []int) float64
 }
 
 // indexContextual is the marker implemented by measures whose context is
@@ -56,6 +67,8 @@ func (sizeMeasure) Name() string { return "size" }
 
 func (sizeMeasure) Influence(rnn *oset.Set) float64 { return float64(rnn.Len()) }
 
+func (sizeMeasure) InfluenceSorted(rnn []int) float64 { return float64(len(rnn)) }
+
 // weightedMeasure sums per-client weights over the RNN set.
 type weightedMeasure struct {
 	weights []float64
@@ -79,6 +92,20 @@ func (m *weightedMeasure) Influence(rnn *oset.Set) float64 {
 		}
 		return true
 	})
+	return total
+}
+
+// InfluenceSorted accumulates in ascending member order, the same order an
+// oset built with FromSorted ranges in, so the float sum is bit-identical.
+func (m *weightedMeasure) InfluenceSorted(rnn []int) float64 {
+	total := 0.0
+	for _, o := range rnn {
+		if o >= 0 && o < len(m.weights) {
+			total += m.weights[o]
+		} else {
+			total++
+		}
+	}
 	return total
 }
 
@@ -117,6 +144,23 @@ func (m *connectivityMeasure) Influence(rnn *oset.Set) float64 {
 		return true
 	})
 	// Each qualifying edge was counted from both endpoints.
+	return float64(count) / 2
+}
+
+// InfluenceSorted replaces the set-membership test with a binary search on
+// the ascending slice; the edge count is an integer, so order is immaterial.
+func (m *connectivityMeasure) InfluenceSorted(rnn []int) float64 {
+	count := 0
+	for _, o := range rnn {
+		for _, nb := range m.adjacency[o] {
+			if nb == o {
+				continue
+			}
+			if _, ok := slices.BinarySearch(rnn, nb); ok {
+				count++
+			}
+		}
+	}
 	return float64(count) / 2
 }
 
@@ -201,6 +245,27 @@ func (m *capacityMeasure) Influence(rnn *oset.Set) float64 {
 	return total
 }
 
+func (m *capacityMeasure) InfluenceSorted(rnn []int) float64 {
+	stolen := map[int]int{}
+	for _, o := range rnn {
+		if o >= 0 && o < len(m.ctx.Assignment) {
+			stolen[m.ctx.Assignment[o]]++
+		}
+	}
+	total := m.baseTotal
+	for f, s := range stolen {
+		if f < 0 || f >= len(m.baseCount) {
+			continue
+		}
+		c := m.capacityOf(f)
+		before := minFloat(c, float64(m.baseCount[f]))
+		after := minFloat(c, float64(m.baseCount[f]-s))
+		total += after - before
+	}
+	total += minFloat(m.ctx.NewFacilityCapacity, float64(len(rnn)))
+	return total
+}
+
 // Gain returns a measure that reports only the candidate's own term
 // min{c(p), |R(p)|}. It is the "local" variant useful when comparing
 // candidate locations whose placement does not interact.
@@ -214,6 +279,10 @@ func (gainMeasure) Name() string { return "capacity-gain" }
 
 func (g gainMeasure) Influence(rnn *oset.Set) float64 {
 	return minFloat(g.capacity, float64(rnn.Len()))
+}
+
+func (g gainMeasure) InfluenceSorted(rnn []int) float64 {
+	return minFloat(g.capacity, float64(len(rnn)))
 }
 
 // Func adapts a plain function into a Measure.

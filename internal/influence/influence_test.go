@@ -211,3 +211,45 @@ func TestFuncAndDescribe(t *testing.T) {
 		t.Errorf("Describe of custom measure should mention its name")
 	}
 }
+
+// TestInfluenceSortedMatchesSet pins the SortedMeasure contract the label
+// interner depends on: for every built-in measure, evaluating an ascending
+// member slice directly must be bit-identical to evaluating the oset built
+// from it with FromSorted.
+func TestInfluenceSortedMatchesSet(t *testing.T) {
+	weights := []float64{0.25, 1.5, 0.1, 3.75, 0.3, 2.2, 0.9, 1.1}
+	measures := []Measure{
+		Size(),
+		Weighted(weights),
+		Connectivity([][2]int{{0, 1}, {1, 3}, {2, 5}, {4, 4}, {5, 7}, {0, 3}}),
+		Capacity(CapacityContext{
+			Assignment:          []int{0, 1, 0, 2, 1, 0, 2, 1},
+			Capacities:          []float64{2, 3, 1},
+			NewFacilityCapacity: 2.5,
+		}),
+		Gain(3),
+	}
+	sets := [][]int{
+		{},
+		{3},
+		{0, 1, 2},
+		{1, 3, 5, 7},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{2, 4, 9}, // 9 is out of range for every context
+	}
+	for _, m := range measures {
+		sm, ok := m.(SortedMeasure)
+		if !ok {
+			t.Fatalf("%s does not implement SortedMeasure", m.Name())
+		}
+		for _, vals := range sets {
+			want := m.Influence(oset.FromSorted(vals))
+			if got := sm.InfluenceSorted(vals); got != want {
+				t.Errorf("%s: InfluenceSorted(%v) = %v, want %v", m.Name(), vals, got, want)
+			}
+		}
+	}
+	if _, ok := Func("custom", func(rnn *oset.Set) float64 { return 0 }).(SortedMeasure); ok {
+		t.Errorf("Func adapters must not claim the sorted fast path")
+	}
+}

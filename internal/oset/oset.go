@@ -31,6 +31,27 @@ type Set struct {
 	// maintained incrementally: each member's 128-bit value hash is XORed in
 	// on Add and out again on Remove.
 	hash [2]uint64
+	// free is a free-list of removed nodes. Sweep scratch sets mutate
+	// millions of times over one strip; recycling nodes keeps those
+	// mutations allocation-free once the list has warmed up.
+	free *node
+}
+
+// newNode pops a recycled node from the free-list, or allocates one.
+func (s *Set) newNode(v int) *node {
+	n := s.free
+	if n == nil {
+		return &node{val: v}
+	}
+	s.free = n.next
+	n.val, n.prev, n.next = v, nil, nil
+	return n
+}
+
+// recycle pushes an unlinked node onto the free-list.
+func (s *Set) recycle(n *node) {
+	n.prev, n.next = nil, s.free
+	s.free = n
 }
 
 // Hash returns a 128-bit order-independent hash of the set's members,
@@ -80,7 +101,8 @@ func (s *Set) Add(v int) bool {
 	if _, ok := s.index[v]; ok {
 		return false
 	}
-	n := &node{val: v, prev: s.tail}
+	n := s.newNode(v)
+	n.prev = s.tail
 	if s.tail != nil {
 		s.tail.next = n
 	} else {
@@ -115,16 +137,32 @@ func (s *Set) Remove(v int) bool {
 	vh := valueHash(v)
 	s.hash[0] ^= vh[0]
 	s.hash[1] ^= vh[1]
+	s.recycle(n)
 	return true
 }
 
-// Clear removes every member, retaining the index allocation so the set can
-// be reused across many queries (e.g. one per rasterized pixel) without
-// churning the allocator.
+// Clear removes every member, retaining the index allocation (and recycling
+// every list node) so the set can be reused across many queries (e.g. one per
+// rasterized pixel) without churning the allocator.
 func (s *Set) Clear() {
+	if s.tail != nil {
+		s.tail.next = s.free
+		s.free = s.head
+	}
 	s.head, s.tail = nil, nil
 	clear(s.index)
 	s.hash = [2]uint64{}
+}
+
+// Reset clears s and refills it from vals in order. It is the scratch-set
+// reconstruction path of the CREST sweep: a cached base record (an interned,
+// ascending RNN slice) is materialized back into a mutable set without
+// allocating, thanks to the node free-list and the retained index map.
+func (s *Set) Reset(vals []int) {
+	s.Clear()
+	for _, v := range vals {
+		s.Add(v)
+	}
 }
 
 // Members returns the members in insertion order. The returned slice is a
@@ -135,6 +173,16 @@ func (s *Set) Members() []int {
 		out = append(out, n.val)
 	}
 	return out
+}
+
+// AppendMembers appends the members in insertion order to dst and returns
+// the extended slice. It is the allocation-free variant of Members for
+// callers that bring their own buffer.
+func (s *Set) AppendMembers(dst []int) []int {
+	for n := s.head; n != nil; n = n.next {
+		dst = append(dst, n.val)
+	}
+	return dst
 }
 
 // Sorted returns the members in ascending order.

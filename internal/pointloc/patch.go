@@ -8,7 +8,6 @@ import (
 	"rnnheatmap/internal/core"
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/nncircle"
-	"rnnheatmap/internal/oset"
 )
 
 // DefaultMaxPatchFraction mirrors core.DefaultMaxResweepFraction: when more
@@ -70,7 +69,7 @@ func (ix *Index) Patch(newCircles []nncircle.NNCircle, spans [][2]float64, maxFr
 	if ix.metric == geom.L2 || len(ix.slabs) == 0 {
 		return nil, ErrPatchDeclined
 	}
-	next := &Index{measure: ix.measure, empty: ix.empty}
+	next := &Index{measure: ix.measure, pool: ix.pool, empty: ix.empty}
 	usable, origIdx, err := next.initCircles(newCircles)
 	if err != nil {
 		return nil, err
@@ -117,8 +116,8 @@ func (ix *Index) Patch(newCircles []nncircle.NNCircle, spans [][2]float64, maxFr
 	}
 	// Rebuild the dirty slabs span by span; each emission run writes into
 	// the dirty positions of next.slabs it covers.
-	pb := &patchSink{ix: next, origIdx: origIdx, intern: newInterner(next), maxCells: opts.maxCells(), cells: cells}
-	if err := core.EmitSlabsRanges(usable, pb, spans); err != nil {
+	pb := &patchSink{ix: next, origIdx: origIdx, maxCells: opts.maxCells(), cells: cells}
+	if err := core.EmitSlabsRanges(usable, pb, next.pool, spans); err != nil {
 		if errors.Is(err, core.ErrSlabsAborted) {
 			return nil, ErrTooLarge
 		}
@@ -149,7 +148,6 @@ func sameArrangement(a, b []nncircle.NNCircle) bool {
 type patchSink struct {
 	ix       *Index
 	origIdx  []int32
-	intern   *interner
 	maxCells int
 	cells    int
 	pos      int
@@ -170,13 +168,13 @@ func (b *patchSink) StartSlab(x0, x1 float64, actives []int) bool {
 	return true
 }
 
-func (b *patchSink) Edge(y float64, circle int, upper bool, above *oset.Set) bool {
+func (b *patchSink) Edge(y float64, circle int, upper bool, above *label) bool {
 	if b.cells += 2; b.cells > b.maxCells {
 		return false
 	}
 	sl := &b.ix.slabs[b.pos]
 	sl.edges = append(sl.edges, y)
-	sl.gaps = append(sl.gaps, b.intern.label(above))
+	sl.gaps = append(sl.gaps, above)
 	return true
 }
 

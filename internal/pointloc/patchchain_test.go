@@ -107,9 +107,9 @@ func TestPatchChainMatchesFreshBuild(t *testing.T) {
 						t.Fatalf("metric=%v step=%d slab %d: edges differ", metric, step, si)
 					}
 					for g := range fs.gaps {
-						if fs.gaps[g].heat != ps.gaps[g].heat || !reflect.DeepEqual(fs.gaps[g].rnn, ps.gaps[g].rnn) {
+						if fs.gaps[g].Heat != ps.gaps[g].Heat || !reflect.DeepEqual(fs.gaps[g].RNN, ps.gaps[g].RNN) {
 							t.Fatalf("metric=%v step=%d slab %d gap %d: fresh=%v patched=%v",
-								metric, step, si, g, fs.gaps[g].rnn, ps.gaps[g].rnn)
+								metric, step, si, g, fs.gaps[g].RNN, ps.gaps[g].RNN)
 						}
 					}
 				}

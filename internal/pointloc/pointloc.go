@@ -39,7 +39,6 @@ import (
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
-	"rnnheatmap/internal/oset"
 )
 
 // DefaultMaxCells caps the total number of stored slab cells (edges plus
@@ -59,6 +58,12 @@ var ErrTooLarge = errors.New("pointloc: slab decomposition exceeds the cell cap"
 type Options struct {
 	// MaxCells overrides DefaultMaxCells; non-positive means the default.
 	MaxCells int
+	// Pool is the interned-label pool gap labels are drawn from. Passing
+	// the CREST run's pool (core.Result.LabelPool) shares the sets and
+	// heats the sweep already interned, so the build re-sorts and
+	// re-evaluates nothing; nil (or a pool of a different measure) means a
+	// fresh pool over the build's measure.
+	Pool *core.LabelInterner
 }
 
 func (o Options) maxCells() int {
@@ -69,13 +74,11 @@ func (o Options) maxCells() int {
 }
 
 // label is the precomputed answer for one face: its heat and its RNN set in
-// ascending order (never nil). Labels are interned — faces with equal RNN
-// sets share one label — which keeps the index near-linear in practice even
-// though the face count is quadratic in the worst case.
-type label struct {
-	heat float64
-	rnn  []int
-}
+// ascending order (never nil). Labels are interned in a core.LabelInterner —
+// faces with equal RNN sets share one label — which keeps the index
+// near-linear in practice even though the face count is quadratic in the
+// worst case.
+type label = core.Interned
 
 // arcEdge identifies one L2 arc edge: the lower or upper half of a circle's
 // boundary.
@@ -130,6 +133,10 @@ type Index struct {
 	// slabs[i] spans [xs[i], xs[i+1]] (the final slab is zero-width).
 	xs    []float64
 	slabs []slab
+
+	// pool is the interned-label pool the gap labels point into. Patch
+	// reuses it so spliced generations keep sharing one label corpus.
+	pool *core.LabelInterner
 
 	empty *label
 	cells int
@@ -194,8 +201,11 @@ func Build(circles []nncircle.NNCircle, measure influence.Measure, opts Options)
 	if measure == nil {
 		measure = influence.Size()
 	}
-	ix := &Index{measure: measure}
-	ix.empty = &label{heat: measure.Influence(oset.New()), rnn: []int{}}
+	pool := opts.Pool
+	if pool == nil || pool.Measure() != measure {
+		pool = core.NewLabelInterner(measure)
+	}
+	ix := &Index{measure: measure, pool: pool, empty: pool.Empty()}
 	usable, origIdx, err := ix.initCircles(circles)
 	if err != nil {
 		return nil, err
@@ -212,7 +222,7 @@ func Build(circles []nncircle.NNCircle, measure influence.Measure, opts Options)
 		return nil, ErrTooLarge
 	}
 	b := newBuilder(ix, origIdx, opts.maxCells())
-	if err := core.EmitSlabs(usable, b); err != nil {
+	if err := core.EmitSlabs(usable, b, pool); err != nil {
 		if errors.Is(err, core.ErrSlabsAborted) {
 			return nil, ErrTooLarge
 		}
@@ -265,11 +275,11 @@ func (ix *Index) initCircles(circles []nncircle.NNCircle) (usable []nncircle.NNC
 // builder is the core.SlabSink that materializes the index arrays. The
 // emission references circles by position in its filtered input slice;
 // origIdx translates those to stable positions in the index's full circle
-// slices.
+// slices. Gap labels arrive already interned (the emission pools them), so
+// the builder just stores the pointers.
 type builder struct {
 	ix       *Index
 	origIdx  []int32
-	intern   *interner
 	maxCells int
 	cells    int
 	isL2     bool
@@ -282,7 +292,6 @@ func newBuilder(ix *Index, origIdx []int32, maxCells int) *builder {
 	return &builder{
 		ix:       ix,
 		origIdx:  origIdx,
-		intern:   newInterner(ix),
 		maxCells: maxCells,
 		isL2:     ix.metric == geom.L2,
 	}
@@ -302,7 +311,7 @@ func (b *builder) StartSlab(x0, x1 float64, actives []int) bool {
 	return true
 }
 
-func (b *builder) Edge(y float64, circle int, upper bool, above *oset.Set) bool {
+func (b *builder) Edge(y float64, circle int, upper bool, above *label) bool {
 	b.cells += 2 // one edge, one gap
 	if b.cells > b.maxCells {
 		return false
@@ -312,44 +321,6 @@ func (b *builder) Edge(y float64, circle int, upper bool, above *oset.Set) bool 
 	if b.isL2 {
 		sl.arcs = append(sl.arcs, arcEdge{circle: b.origIdx[circle], upper: upper})
 	}
-	sl.gaps = append(sl.gaps, b.intern.label(above))
+	sl.gaps = append(sl.gaps, above)
 	return true
-}
-
-// interner de-duplicates gap labels by RNN-set contents: faces with equal
-// sets share one label, which keeps the index near-linear in practice and —
-// because consecutive faces of an arrangement overwhelmingly repeat sets —
-// makes the build cost per face O(1) instead of O(λ log λ). Sets are keyed
-// by their incrementally maintained 128-bit content hash (oset.Set.Hash)
-// plus length; the per-pair collision probability of ~2^-128 is negligible
-// against any corpus this structure can hold (the cell cap bounds it in the
-// tens of millions). The heat of a new label is evaluated over a set rebuilt
-// in ascending client order — the canonical order of the enclosure query
-// path — so the stored float is bit-identical to a direct query's.
-type interner struct {
-	ix    *Index
-	byKey map[internKey]*label
-}
-
-type internKey struct {
-	hash [2]uint64
-	n    int
-}
-
-func newInterner(ix *Index) *interner {
-	return &interner{ix: ix, byKey: map[internKey]*label{}}
-}
-
-func (in *interner) label(set *oset.Set) *label {
-	if set.Len() == 0 {
-		return in.ix.empty
-	}
-	key := internKey{hash: set.Hash(), n: set.Len()}
-	if l, ok := in.byKey[key]; ok {
-		return l
-	}
-	rnn := set.Sorted()
-	l := &label{heat: in.ix.measure.Influence(oset.FromSorted(rnn)), rnn: rnn}
-	in.byKey[key] = l
-	return l
 }

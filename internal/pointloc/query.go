@@ -24,13 +24,13 @@ func (ix *Index) Query(p geom.Point) (float64, []int) {
 		return ix.exact(p, q.X)
 	}
 	if i < 0 {
-		return ix.empty.heat, ix.empty.rnn
+		return ix.empty.Heat, ix.empty.RNN
 	}
 	l, ok := ix.slabs[i].lookup(ix, q)
 	if !ok {
 		return ix.exact(p, q.X)
 	}
-	return l.heat, l.rnn
+	return l.Heat, l.RNN
 }
 
 // QueryBatch answers one Query per point, in input order. Points are sorted
@@ -80,7 +80,7 @@ func (ix *Index) queryMany(ps []geom.Point, emit func(k int, heat float64, rnn [
 			// the monotone walk for every other point. No circle contains a
 			// NaN coordinate (all comparisons are false), which is also
 			// exactly what a standalone Query resolves: the empty face.
-			emit(k, ix.empty.heat, ix.empty.rnn)
+			emit(k, ix.empty.Heat, ix.empty.RNN)
 			continue
 		}
 		keys = append(keys, batchKey{x: q.X, y: q.Y, k: int32(k)})
@@ -113,11 +113,11 @@ func (ix *Index) queryMany(ps []geom.Point, emit func(k int, heat float64, rnn [
 			continue
 		}
 		if si < 0 {
-			emit(k, ix.empty.heat, ix.empty.rnn)
+			emit(k, ix.empty.Heat, ix.empty.RNN)
 			continue
 		}
 		if l, ok := ix.slabs[si].lookup(ix, q); ok {
-			emit(k, l.heat, l.rnn)
+			emit(k, l.Heat, l.RNN)
 		} else {
 			h, rnn := ix.exact(ps[k], q.X)
 			emit(k, h, rnn)
