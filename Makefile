@@ -3,15 +3,15 @@ GO ?= go
 # BENCH_OUT is where `make bench` writes its JSON snapshot; each PR bumps the
 # default instead of editing the recipe. Override per run:
 #   make bench BENCH_OUT=/tmp/bench.json
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 # BENCH_BASELINE is the committed baseline `make bench-regress` gates against.
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR7.json
 # GATE_BENCH selects the hot-path benchmarks the regression gate watches;
 # MAX_REGRESS is the time/op growth (percent) that fails it, and
 # MAX_ALLOC_REGRESS the allocs/op growth (only checked for benchmarks whose
 # baseline recorded allocation metrics). CI reuses all three via
 # `make bench-compare`, so the gate is defined exactly once.
-GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt
+GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt|BenchmarkIngestBatch|BenchmarkReadUnderWriteLoad
 MAX_REGRESS ?= 20
 MAX_ALLOC_REGRESS ?= 20
 # BENCH_NEW is the fresh run bench-compare gates against the baseline.
@@ -96,13 +96,15 @@ bench-regress:
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkCRESTParallel -benchtime 2x .
 
-# fuzz-smoke replays the committed corpora and fuzzes the two differential
-# harnesses — Region Coloring vs the grid baseline, and slab point-location
-# vs the enclosure oracle — for 30s each (the CI budget); counterexamples
-# land under the packages' testdata/fuzz/ directories as regression seeds.
+# fuzz-smoke replays the committed corpora and fuzzes the three differential
+# harnesses — Region Coloring vs the grid baseline, slab point-location vs
+# the enclosure oracle, and batched delta application vs the sequential and
+# rebuild oracles — for 30s each (the CI budget); counterexamples land under
+# the packages' testdata/fuzz/ directories as regression seeds.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRegionColoring -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzPointLocation -fuzztime 30s ./internal/pointloc
+	$(GO) test -run '^$$' -fuzz FuzzApplyDeltaBatch -fuzztime 30s ./internal/delta
 
 # serve starts heatmapd on a small seeded NYC workload with durable maps
 # (-load makes repeated `make serve` resume the previous session instead of

@@ -11,7 +11,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"rnnheatmap/heatmap"
 	"rnnheatmap/internal/core"
@@ -546,4 +550,165 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ingestBenchServer builds the mutable server the ingestion benchmarks
+// drive: a mid-size map persisting to a WAL under b.TempDir(), so every
+// committed mutation pays the same group-commit fsync heatmapd pays in
+// production — the durability both modes of BenchmarkIngestBatch share.
+func ingestBenchServer(b *testing.B, window time.Duration) (*server.Server, geom.Rect) {
+	b.Helper()
+	pool, err := dataset.ByName("Uniform", 1700, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients, facilities := pool.SampleClientsFacilities(800, 40, 17)
+	m, err := heatmap.Build(heatmap.Config{Clients: clients, Facilities: facilities, Metric: geom.LInf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := server.New(server.Config{
+		Map: m, Mutable: true, MaxBatch: 512,
+		SnapshotDir: b.TempDir(), CoalesceWindow: window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s, m.Bounds()
+}
+
+// ingestBenchOps builds n balanced client-churn ops (uniform add paired with
+// a swap-remove of index 0), so the map's set sizes are identical at the
+// start of every iteration and the resweep cost stays comparable.
+func ingestBenchOps(rng *rand.Rand, bounds geom.Rect, n int) []string {
+	ops := make([]string, 0, n)
+	for len(ops) < n {
+		x := bounds.MinX + rng.Float64()*bounds.Width()
+		y := bounds.MinY + rng.Float64()*bounds.Height()
+		ops = append(ops,
+			fmt.Sprintf(`{"add_clients":[{"x":%g,"y":%g}]}`, x, y),
+			`{"remove_clients":[0]}`)
+	}
+	return ops
+}
+
+func ingestBenchPost(b *testing.B, s *server.Server, body string) {
+	req := httptest.NewRequest(http.MethodPost, "/mutations", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("POST /mutations = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// BenchmarkIngestBatch measures the streaming write path at equal
+// durability: one iteration pushes 64 balanced ops through POST /mutations,
+// either one op per request (perop — 64 WAL fsyncs, 64 resweeps and 64
+// republishes, the legacy mutation endpoints' cost model) or as one batched
+// request (batch — one group-commit fsync, one merged resweep, one publish).
+// The acceptance bar for the batched path is >=5x on mutations/sec.
+func BenchmarkIngestBatch(b *testing.B) {
+	const opsPerIter = 64
+	for _, mode := range []string{"perop", "batch"} {
+		b.Run(mode, func(b *testing.B) {
+			// Window -1 disables the coalescing wait: requests here are
+			// serial, so a window would only add idle latency to perop.
+			s, bounds := ingestBenchServer(b, -1)
+			rng := rand.New(rand.NewSource(41))
+			// Pre-build a few iterations' worth of request bodies and cycle
+			// them, keeping JSON assembly out of the timed region. The ops
+			// are balanced, so any body is valid against any map state.
+			bodies := make([][]string, 4)
+			for i := range bodies {
+				ops := ingestBenchOps(rng, bounds, opsPerIter)
+				if mode == "batch" {
+					bodies[i] = []string{`{"ops":[` + strings.Join(ops, ",") + `]}`}
+				} else {
+					for _, op := range ops {
+						bodies[i] = append(bodies[i], `{"ops":[`+op+`]}`)
+					}
+				}
+			}
+			ingestBenchPost(b, s, `{"ops":[{"add_clients":[{"x":1,"y":1}]},{"remove_clients":[0]}]}`)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, body := range bodies[i%len(bodies)] {
+					ingestBenchPost(b, s, body)
+				}
+			}
+			b.ReportMetric(float64(b.N*opsPerIter)/b.Elapsed().Seconds(), "mutations/sec")
+		})
+	}
+}
+
+// BenchmarkReadUnderWriteLoad measures read latency while the ingestion
+// path is busy: a background writer streams 64-op batches through POST
+// /mutations as fast as commits allow, and the timed region issues point
+// queries (one iteration = 256 reads). ns/op tracks the mean read and the
+// p99-ms metric the tail — the number a dashboard user actually feels while
+// the feed is live.
+func BenchmarkReadUnderWriteLoad(b *testing.B) {
+	const readsPerIter = 256
+	s, bounds := ingestBenchServer(b, 2*time.Millisecond)
+	rng := rand.New(rand.NewSource(43))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(47))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ops := ingestBenchOps(wrng, bounds, 64)
+			body := `{"ops":[` + strings.Join(ops, ",") + `]}`
+			req := httptest.NewRequest(http.MethodPost, "/mutations", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	queries := make([]string, 1024)
+	for i := range queries {
+		x := bounds.MinX + rng.Float64()*bounds.Width()
+		y := bounds.MinY + rng.Float64()*bounds.Height()
+		queries[i] = fmt.Sprintf("/heat?x=%g&y=%g", x, y)
+	}
+	read := func(q string) time.Duration {
+		t0 := time.Now()
+		req := httptest.NewRequest(http.MethodGet, q, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("GET %s = %d: %s", q, rec.Code, rec.Body)
+		}
+		return time.Since(t0)
+	}
+	// Warm the query path before the timer (see BenchmarkHeatAt).
+	for i := 0; i < 64; i++ {
+		read(queries[i])
+	}
+	lat := make([]time.Duration, 0, b.N*readsPerIter)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < readsPerIter; j++ {
+			lat = append(lat, read(queries[(i*readsPerIter+j)%len(queries)]))
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[int(0.99*float64(len(lat)-1))]
+	b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-ms")
 }

@@ -68,7 +68,10 @@ func main() {
 		tileSize      = flag.Int("tile-size", 256, "tile edge length in pixels")
 		tileCache     = flag.Int("tile-cache", 512, "LRU tile cache capacity (tiles)")
 		colorMapName  = flag.String("colormap", "gray", "tile color map: gray or inferno")
-		mutable       = flag.Bool("mutable", false, "enable the live mutation API (POST/DELETE /clients and /facilities)")
+		mutable       = flag.Bool("mutable", false, "enable the live mutation API (POST/DELETE /clients and /facilities, POST /mutations)")
+		coalesceMS    = flag.Float64("coalesce-ms", 2, "coalescing window for POST /mutations group commits, in milliseconds (0 = never wait, commit whatever is queued)")
+		coalesceOps   = flag.Int("coalesce-ops", 512, "max total ops gathered into one group commit")
+		ingestQueue   = flag.Int("ingest-queue", 128, "per-map admission queue for POST /mutations; when full, requests get 429 + Retry-After")
 		snapshotDir   = flag.String("snapshot-dir", "", "persist maps (snapshots + mutation WAL) in this directory")
 		load          = flag.Bool("load", false, "restore maps from -snapshot-dir at startup, replaying each WAL (skips the build when a default snapshot exists)")
 		saveEvery     = flag.Duration("save-every", 0, "autosave dirty maps to -snapshot-dir at this interval (0 = only on shutdown and explicit POST /maps/{name}/snapshot)")
@@ -83,6 +86,7 @@ func main() {
 		workers: *workers, seed: *seed,
 		tileSize: *tileSize, tileCache: *tileCache, colorMapName: *colorMapName,
 		mutable: *mutable, snapshotDir: *snapshotDir, load: *load, saveEvery: *saveEvery,
+		coalesceMS: *coalesceMS, coalesceOps: *coalesceOps, ingestQueue: *ingestQueue,
 		pprof: *pprofOn,
 	}); err != nil {
 		log.Fatal(err)
@@ -104,6 +108,9 @@ type config struct {
 	snapshotDir               string
 	load                      bool
 	saveEvery                 time.Duration
+	coalesceMS                float64
+	coalesceOps               int
+	ingestQueue               int
 	pprof                     bool
 }
 
@@ -138,20 +145,33 @@ func run(cfg config) error {
 		}
 	}
 
+	if cfg.coalesceMS < 0 {
+		return fmt.Errorf("-coalesce-ms must be non-negative")
+	}
+	// -coalesce-ms 0 means "never wait"; server.Config spells that as a
+	// negative window (its zero value selects the default).
+	window := time.Duration(cfg.coalesceMS * float64(time.Millisecond))
+	if cfg.coalesceMS == 0 {
+		window = -1
+	}
 	srv, err := server.New(server.Config{
-		Map:           m,
-		Mutable:       cfg.mutable,
-		TileSize:      cfg.tileSize,
-		TileCacheSize: cfg.tileCache,
-		ColorMap:      cm,
-		SnapshotDir:   cfg.snapshotDir,
-		Load:          cfg.load,
+		Map:            m,
+		Mutable:        cfg.mutable,
+		TileSize:       cfg.tileSize,
+		TileCacheSize:  cfg.tileCache,
+		ColorMap:       cm,
+		CoalesceWindow: window,
+		CoalesceOps:    cfg.coalesceOps,
+		IngestQueue:    cfg.ingestQueue,
+		SnapshotDir:    cfg.snapshotDir,
+		Load:           cfg.load,
 	})
 	if err != nil {
 		return err
 	}
 	if cfg.mutable {
-		log.Printf("mutation API enabled: POST/DELETE /clients and /facilities")
+		log.Printf("mutation API enabled: POST/DELETE /clients and /facilities, POST /mutations (coalesce %.3gms, %d ops; queue %d)",
+			cfg.coalesceMS, cfg.coalesceOps, cfg.ingestQueue)
 	}
 	if cfg.snapshotDir != "" {
 		log.Printf("persisting maps to %s (autosave %v)", cfg.snapshotDir, cfg.saveEvery)

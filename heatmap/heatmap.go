@@ -291,22 +291,40 @@ type DeltaStats struct {
 // context instead. A CustomMeasure is accepted as-is; if its function closes
 // over per-index context, rebuilding is likewise the caller's job.
 func (m *Map) ApplyDelta(d Delta) (*Map, DeltaStats, error) {
+	return m.ApplyDeltaBatch([]Delta{d})
+}
+
+// ApplyDeltaBatch applies ds in order as one update: the set maintenance
+// runs delta by delta (removal indexes mean exactly what they would if the
+// deltas were applied one at a time), but the union of everything the batch
+// dirtied is reswept ONCE and the result published as a single new Map — K
+// deltas cost one splice, one enclosure rebuild and one point-location
+// patch instead of K. The returned map is identical, region for region and
+// pixel for pixel, to chaining K ApplyDelta calls. The batch is atomic: an
+// invalid delta anywhere (ErrBadDelta) fails the whole call with the
+// receiver untouched. The group-committing server ingest path is built on
+// this.
+func (m *Map) ApplyDeltaBatch(ds []Delta) (*Map, DeltaStats, error) {
 	if err := m.DeltaSupported(); err != nil {
 		return nil, DeltaStats{}, err
 	}
-	out, err := delta.Apply(
+	dds := make([]delta.Delta, len(ds))
+	for i, d := range ds {
+		dds[i] = delta.Delta{
+			AddClients:       d.AddClients,
+			RemoveClients:    d.RemoveClients,
+			AddFacilities:    d.AddFacilities,
+			RemoveFacilities: d.RemoveFacilities,
+		}
+	}
+	out, err := delta.ApplyBatch(
 		delta.State{
 			Clients:    m.cfg.Clients,
 			Facilities: m.cfg.Facilities,
 			Circles:    m.circles,
 			Labels:     m.result.Labels,
 		},
-		delta.Delta{
-			AddClients:       d.AddClients,
-			RemoveClients:    d.RemoveClients,
-			AddFacilities:    d.AddFacilities,
-			RemoveFacilities: d.RemoveFacilities,
-		},
+		dds,
 		delta.Options{
 			Metric:    m.cfg.Metric,
 			Measure:   m.measure,

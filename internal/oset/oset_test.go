@@ -228,3 +228,53 @@ func TestClear(t *testing.T) {
 		t.Fatalf("Sorted after reuse = %v, want [5 7]", got)
 	}
 }
+
+// TestHashOrderIndependence pins the interning contract of Hash: equal sets
+// hash equally regardless of insertion order or mutation history, unequal
+// sets (here) differ, and an emptied set returns to the zero hash.
+func TestHashOrderIndependence(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(3, 1, 2)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("Hash depends on insertion order: %v vs %v", a.Hash(), b.Hash())
+	}
+	// Same members reached through a different history hash the same.
+	c := New(1, 2, 3, 9)
+	c.Remove(9)
+	if c.Hash() != a.Hash() {
+		t.Fatalf("Hash depends on mutation history: %v vs %v", c.Hash(), a.Hash())
+	}
+	if a.Hash() == New(1, 2).Hash() {
+		t.Fatal("distinct sets {1,2,3} and {1,2} collide")
+	}
+	a.Remove(1)
+	a.Remove(2)
+	a.Remove(3)
+	if a.Hash() != (New().Hash()) {
+		t.Fatalf("emptied set hash = %v, want the empty hash", a.Hash())
+	}
+}
+
+// TestResetAndAppendMembers covers the sweep's scratch-set reconstruction
+// path: Reset refills a used set without fresh nodes, and AppendMembers
+// extends a caller buffer in insertion order.
+func TestResetAndAppendMembers(t *testing.T) {
+	s := New(10, 20, 30)
+	s.Reset([]int{7, 5, 6})
+	if got, want := s.Members(), []int{7, 5, 6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members after Reset = %v, want %v", got, want)
+	}
+	if s.Contains(10) || s.Len() != 3 {
+		t.Fatalf("Reset kept stale members: %v", s.Members())
+	}
+	if s.Hash() != New(7, 5, 6).Hash() {
+		t.Fatal("Reset set's hash disagrees with a freshly built equal set")
+	}
+	dst := s.AppendMembers([]int{99})
+	if want := []int{99, 7, 5, 6}; !reflect.DeepEqual(dst, want) {
+		t.Fatalf("AppendMembers = %v, want %v", dst, want)
+	}
+	if dst = New().AppendMembers(nil); len(dst) != 0 {
+		t.Fatalf("AppendMembers on empty set = %v, want none", dst)
+	}
+}

@@ -33,6 +33,10 @@ type mapInstance struct {
 	cache   *tileCache
 	renders atomic.Int64 // tile renders across all of this map's versions
 	wal     *snapshot.WAL
+	// ing is the map's coalescing ingestion writer (mutable servers only):
+	// POST /mutations batches queue here and are group-committed. nil on
+	// read-only servers.
+	ing *ingester
 	// dirty is set when the in-memory map has state (mutations, or a fresh
 	// build) not yet folded into the on-disk snapshot.
 	dirty atomic.Bool
@@ -120,22 +124,39 @@ func (s *Server) register(name string, m *heatmap.Map, version uint64, persisted
 	}
 	inst := &mapInstance{name: name, cache: newTileCache(s.tileCacheSize)}
 	inst.cur.Store(st)
+	if s.mutable {
+		// The ingestion writer exists before the instance is reachable, so a
+		// POST /mutations racing the registration always finds it; its first
+		// commit blocks on writeMu until persistence is attached below.
+		inst.ing = newIngester(s, inst)
+	}
 	inst.writeMu.Lock()
-	defer inst.writeMu.Unlock()
+	// fail tears the half-built instance down. The writer lock must be
+	// released before stopping the ingester: its writer may already be
+	// blocked on that lock in a commit (only possible on the
+	// attachPersistence path, after the name was briefly registered), and
+	// shutdown waits for it.
+	fail := func(err error) (*mapInstance, error) {
+		inst.writeMu.Unlock()
+		if inst.ing != nil {
+			inst.ing.shutdown()
+		}
+		return nil, err
+	}
 	s.mu.Lock()
 	if _, ok := s.maps[name]; ok {
 		s.mu.Unlock()
 		if preWAL != nil {
 			preWAL.Close()
 		}
-		return nil, fmt.Errorf("%w: %q", errMapExists, name)
+		return fail(fmt.Errorf("%w: %q", errMapExists, name))
 	}
 	if len(s.maps) >= s.maxMaps {
 		s.mu.Unlock()
 		if preWAL != nil {
 			preWAL.Close()
 		}
-		return nil, fmt.Errorf("%w (%d maps)", errRegistryFull, s.maxMaps)
+		return fail(fmt.Errorf("%w (%d maps)", errRegistryFull, s.maxMaps))
 	}
 	s.maps[name] = inst
 	s.mu.Unlock()
@@ -143,8 +164,9 @@ func (s *Server) register(name string, m *heatmap.Map, version uint64, persisted
 		s.mu.Lock()
 		delete(s.maps, name)
 		s.mu.Unlock()
-		return nil, err
+		return fail(err)
 	}
+	inst.writeMu.Unlock()
 	return inst, nil
 }
 
@@ -273,12 +295,17 @@ func (s *Server) replayWAL(name string, m *heatmap.Map, version uint64) (*heatma
 		if rec.Version != version+1 {
 			return fail(fmt.Errorf("record jumps from version %d to %d: log diverges from snapshot", version, rec.Version))
 		}
-		next, _, err := m.ApplyDelta(heatmap.Delta{
-			AddClients:       rec.AddClients,
-			RemoveClients:    rec.RemoveClients,
-			AddFacilities:    rec.AddFacilities,
-			RemoveFacilities: rec.RemoveFacilities,
-		})
+		ops := rec.Ops()
+		ds := make([]heatmap.Delta, len(ops))
+		for i, op := range ops {
+			ds[i] = heatmap.Delta{
+				AddClients:       op.AddClients,
+				RemoveClients:    op.RemoveClients,
+				AddFacilities:    op.AddFacilities,
+				RemoveFacilities: op.RemoveFacilities,
+			}
+		}
+		next, _, err := m.ApplyDeltaBatch(ds)
 		if err != nil {
 			return fail(fmt.Errorf("re-applying record for version %d: %w", rec.Version, err))
 		}
@@ -344,6 +371,11 @@ func (s *Server) SaveAll() error {
 func (s *Server) Close() error {
 	err := s.SaveAll()
 	for _, inst := range s.instances() {
+		// Stop the ingestion writer before taking the writer lock (it may be
+		// mid group-commit holding it); queued batches drain with 503.
+		if inst.ing != nil {
+			inst.ing.shutdown()
+		}
 		// The writer lock serializes against a straggling autosave or
 		// mutation still holding the WAL; closing the file under its feet
 		// would fail its Reset/Append with "file already closed".
@@ -496,6 +528,12 @@ func (s *Server) handleDeleteMap(inst *mapInstance, w http.ResponseWriter, r *ht
 	}
 	delete(s.maps, inst.name)
 	s.mu.Unlock()
+	// Stop the ingestion writer first, and before taking the writer lock: it
+	// may be mid group-commit holding that lock. With the name already
+	// removed, its membership re-check 404s everything still queued.
+	if inst.ing != nil {
+		inst.ing.shutdown()
+	}
 	// Serialize against an in-flight mutation before tearing down the WAL.
 	inst.writeMu.Lock()
 	defer inst.writeMu.Unlock()

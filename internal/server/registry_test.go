@@ -234,10 +234,21 @@ func TestWALReplayConvergesAfterCrash(t *testing.T) {
 			t.Fatalf("%s %s = %d (body %s)", mu.method, mu.path, rec.Code, rec.Body)
 		}
 	}
+	// Two batched requests through the ingestion path: each lands in the WAL
+	// as one multi-op record that replay must apply as a unit.
+	batches := []string{
+		`{"ops":[{"add_clients":[{"x":30,"y":30},{"x":31,"y":31}]},{"remove_clients":[2]}]}`,
+		`{"ops":[{"add_facilities":[{"x":60,"y":60}]},{"add_clients":[{"x":61,"y":61}]},{"remove_facilities":[0]}]}`,
+	}
+	for _, body := range batches {
+		if rec := do(t, a, http.MethodPost, "/mutations", body); rec.Code != http.StatusOK {
+			t.Fatalf("POST /mutations = %d (body %s)", rec.Code, rec.Body)
+		}
+	}
 	tilePaths := []string{"/tiles/0/0/0.png", "/tiles/2/0/0.png", "/tiles/2/3/3.png", "/tiles/3/2/5.png"}
 	wantVersion, wantTiles := tileAndStats(t, a, tilePaths)
-	if wantVersion != uint64(len(mutations)+1) {
-		t.Fatalf("uninterrupted server at version %d, want %d", wantVersion, len(mutations)+1)
+	if wantVersion != uint64(len(mutations)+len(batches)+1) {
+		t.Fatalf("uninterrupted server at version %d, want %d", wantVersion, len(mutations)+len(batches)+1)
 	}
 	// Crash: server a is abandoned without Close/SaveAll. The on-disk state
 	// is the initial snapshot (version 1) plus the WAL.

@@ -22,6 +22,7 @@
 //	GET    /maps/{map}/histogram          (alias /histogram)
 //	GET    /maps/{map}/stats              (alias /stats)
 //	POST/DELETE /maps/{map}/clients, /maps/{map}/facilities   (aliases too)
+//	POST   /maps/{map}/mutations          batched mutation ops (alias /mutations)
 //
 // A mutable server (Config.Mutable) accepts live set updates applied through
 // heatmap.ApplyDelta's copy-on-write semantics: per map, writers build a new
@@ -95,6 +96,17 @@ type Config struct {
 	// MaxMapPoints caps clients+facilities of a map created via POST /maps;
 	// 0 means 200000.
 	MaxMapPoints int
+	// CoalesceWindow is how long each map's ingestion writer waits for more
+	// POST /mutations batches before group-committing what it has gathered;
+	// 0 means 2ms, negative means never wait (commit whatever is already
+	// queued).
+	CoalesceWindow time.Duration
+	// CoalesceOps caps the total ops gathered into one group commit; 0 means
+	// 512.
+	CoalesceOps int
+	// IngestQueue is the per-map admission queue capacity for POST
+	// /mutations; a full queue answers 429 with Retry-After. 0 means 128.
+	IngestQueue int
 	// SnapshotDir, when non-empty, makes the registry durable: maps are
 	// saved there as binary snapshots and (on mutable servers) every applied
 	// mutation is write-ahead logged. The directory is created if missing.
@@ -150,6 +162,10 @@ type Server struct {
 	maxMapPoints  int
 	snapshotDir   string
 
+	coalesceWindow time.Duration
+	coalesceOps    int
+	ingestQueue    int
+
 	mu   sync.RWMutex
 	maps map[string]*mapInstance
 	// creating holds names reserved by in-flight POST /maps builds, so
@@ -187,6 +203,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxMapPoints <= 0 {
 		cfg.MaxMapPoints = 200000
 	}
+	if cfg.CoalesceWindow == 0 {
+		cfg.CoalesceWindow = 2 * time.Millisecond
+	}
+	if cfg.CoalesceOps <= 0 {
+		cfg.CoalesceOps = 512
+	}
+	if cfg.IngestQueue <= 0 {
+		cfg.IngestQueue = 128
+	}
 	if cfg.Load && cfg.SnapshotDir == "" {
 		return nil, errors.New("server: Config.Load requires Config.SnapshotDir")
 	}
@@ -200,10 +225,14 @@ func New(cfg Config) (*Server, error) {
 		maxMaps:       cfg.MaxMaps,
 		maxMapPoints:  cfg.MaxMapPoints,
 		snapshotDir:   cfg.SnapshotDir,
-		maps:          make(map[string]*mapInstance),
-		creating:      make(map[string]struct{}),
-		mux:           http.NewServeMux(),
-		started:       time.Now(),
+
+		coalesceWindow: cfg.CoalesceWindow,
+		coalesceOps:    cfg.CoalesceOps,
+		ingestQueue:    cfg.IngestQueue,
+		maps:           make(map[string]*mapInstance),
+		creating:       make(map[string]struct{}),
+		mux:            http.NewServeMux(),
+		started:        time.Now(),
 	}
 	if s.snapshotDir != "" {
 		if err := os.MkdirAll(s.snapshotDir, 0o755); err != nil {
@@ -249,6 +278,7 @@ func (s *Server) routes() {
 		"GET /regions":           s.handleRegions,
 		"GET /histogram":         s.handleHistogram,
 		"GET /tiles/{z}/{x}/{y}": s.handleTile,
+		"POST /mutations":        s.handleMutations,
 		"POST /clients":          s.handleAddClients,
 		"DELETE /clients":        s.handleRemoveClients,
 		"POST /facilities":       s.handleAddFacilities,
@@ -371,6 +401,7 @@ type statsResponse struct {
 	Build         buildStats  `json:"build"`
 	Heat          heatSummary `json:"heat"`
 	Tiles         tileStats   `json:"tiles"`
+	Ingest        ingestStats `json:"ingest"`
 	QueryIndex    queryIndex  `json:"query_index"`
 }
 
@@ -484,6 +515,7 @@ func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.R
 			Coalesced:   waited,
 			Renders:     inst.renders.Load(),
 		},
+		Ingest:     s.ingestStatsOf(inst),
 		QueryIndex: queryIndexOf(st.m),
 	})
 }

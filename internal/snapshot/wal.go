@@ -13,18 +13,83 @@ import (
 	"rnnheatmap/internal/geom"
 )
 
-// Record is one applied delta in the write-ahead log: the mutation batch and
-// the map version the map reached after applying it. Replay applies records
-// with Version greater than the base snapshot's MapVersion, in file order.
-type Record struct {
-	Version          uint64
+// Op is one client/facility mutation set, applied in field order with the
+// same sequential swap-remove semantics as a heatmap delta. A Record carries
+// one or more of them.
+type Op struct {
 	AddClients       []geom.Point
 	RemoveClients    []int
 	AddFacilities    []geom.Point
 	RemoveFacilities []int
 }
 
+// Record is one applied mutation batch in the write-ahead log: the ops it
+// contained and the map version the map reached after applying all of them.
+// Replay applies records with Version greater than the base snapshot's
+// MapVersion, in file order.
+//
+// The flat fields hold the batch's first op exactly where the version-1
+// single-op encoding put them; Extra holds ops 2..K of a batched record and
+// encodes as an optional suffix, so logs written before batching existed
+// decode unchanged (Extra nil) and single-op records stay byte-identical to
+// what the old encoder produced. One record is one CRC-framed unit: a batch
+// is durable wholly or not at all, never torn in the middle.
+type Record struct {
+	Version          uint64
+	AddClients       []geom.Point
+	RemoveClients    []int
+	AddFacilities    []geom.Point
+	RemoveFacilities []int
+	Extra            []Op
+}
+
+// Ops returns the record's mutation ops in application order: the flat
+// first-op fields followed by Extra.
+func (r Record) Ops() []Op {
+	ops := make([]Op, 1, 1+len(r.Extra))
+	ops[0] = Op{
+		AddClients:       r.AddClients,
+		RemoveClients:    r.RemoveClients,
+		AddFacilities:    r.AddFacilities,
+		RemoveFacilities: r.RemoveFacilities,
+	}
+	return append(ops, r.Extra...)
+}
+
+// BatchRecord builds the Record for a batch of ops reaching version. It
+// panics on an empty batch — an op-less record has no meaning in the log.
+func BatchRecord(version uint64, ops []Op) Record {
+	if len(ops) == 0 {
+		panic("snapshot: BatchRecord needs at least one op")
+	}
+	rec := Record{
+		Version:          version,
+		AddClients:       ops[0].AddClients,
+		RemoveClients:    ops[0].RemoveClients,
+		AddFacilities:    ops[0].AddFacilities,
+		RemoveFacilities: ops[0].RemoveFacilities,
+	}
+	if len(ops) > 1 {
+		rec.Extra = ops[1:]
+	}
+	return rec
+}
+
 var walMagic = [4]byte{'R', 'N', 'W', 'L'}
+
+// walFile is the slice of *os.File the WAL needs. Production always uses a
+// real file; the fault-injection tests substitute a wrapper whose Write and
+// Sync fail on demand, which is how the append-failure rollback and the
+// group-commit atomicity contract are exercised without root or a loopback
+// block device.
+type walFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
 
 // walHeaderLen is the byte length of the WAL file header (magic + version);
 // walFrameLen is the per-record frame: payload length, payload CRC, and a
@@ -47,7 +112,7 @@ const (
 // not safe for concurrent use; the server serializes appends under the
 // per-map writer lock.
 type WAL struct {
-	f    *os.File
+	f    walFile
 	path string
 	// broken is set when a failed append could not be rolled back: the file
 	// may hold an orphaned, never-acknowledged record, and appending after
@@ -128,7 +193,7 @@ func (w *WAL) writeHeader() error {
 
 // readWAL scans the whole log, returning the complete records and the byte
 // offset just past the last complete record.
-func readWAL(f *os.File) ([]Record, int64, error) {
+func readWAL(f walFile) ([]Record, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("wal: %w", err)
 	}
@@ -211,6 +276,20 @@ func readWAL(f *os.File) ([]Record, int64, error) {
 // tail) once a later append succeeds after it, permanently poisoning the
 // map.
 func (w *WAL) Append(rec Record) error {
+	return w.AppendBatch([]Record{rec})
+}
+
+// AppendBatch is the group commit: it appends every record in recs and
+// fsyncs exactly once, so K acknowledged batches cost one disk flush instead
+// of K. Each record is still its own CRC-framed unit, so a crash mid-append
+// (or mid-flush) leaves a durable prefix of whole records — the torn
+// remainder is truncated by the next OpenWAL — and a batch is never replayed
+// partially. On any write or sync failure the file is truncated back to its
+// pre-batch length, exactly as Append does; an empty recs is a no-op.
+func (w *WAL) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
 	if w.broken {
 		return fmt.Errorf("wal: log is poisoned by an earlier failed append that could not be rolled back; save a snapshot to reset it")
 	}
@@ -218,11 +297,18 @@ func (w *WAL) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("wal: appending: %w", err)
 	}
-	payload := encodeRecord(rec)
+	// Frame every record into one buffer and write it in a single call:
+	// fewer syscalls, and the kernel sees the group as one append.
+	var buf bytes.Buffer
 	var frame [walFrameLen]byte
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(frame[:8]))
+	for _, rec := range recs {
+		payload := encodeRecord(rec)
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(frame[:8]))
+		buf.Write(frame[:])
+		buf.Write(payload)
+	}
 	fail := func(err error) error {
 		if terr := w.f.Truncate(before); terr == nil {
 			_, _ = w.f.Seek(before, io.SeekStart)
@@ -233,10 +319,7 @@ func (w *WAL) Append(rec Record) error {
 		}
 		return fmt.Errorf("wal: appending: %w", err)
 	}
-	if _, err := w.f.Write(frame[:]); err != nil {
-		return fail(err)
-	}
-	if _, err := w.f.Write(payload); err != nil {
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
 		return fail(err)
 	}
 	if err := w.f.Sync(); err != nil {
@@ -298,17 +381,54 @@ func encodeRecord(rec Record) []byte {
 	e.i32s(rec.RemoveClients)
 	e.points(rec.AddFacilities)
 	e.i32s(rec.RemoveFacilities)
+	// Extra ops encode as an optional suffix after the legacy fields: a
+	// count, then each op's four slices. A single-op record writes nothing
+	// here and stays byte-identical to the pre-batching encoding, which is
+	// what keeps the format version at 1 — old logs have no suffix and new
+	// single-op records are readable by old builds.
+	if len(rec.Extra) > 0 {
+		e.u32(uint32(len(rec.Extra)))
+		for _, op := range rec.Extra {
+			e.points(op.AddClients)
+			e.i32s(op.RemoveClients)
+			e.points(op.AddFacilities)
+			e.i32s(op.RemoveFacilities)
+		}
+	}
 	return buf.Bytes()
 }
 
 func decodeRecord(payload []byte) (Record, error) {
-	d := &decoder{r: bytes.NewReader(payload)}
+	br := bytes.NewReader(payload)
+	d := &decoder{r: br}
 	var rec Record
 	rec.Version = d.u64()
 	rec.AddClients = d.points()
 	rec.RemoveClients = d.i32s()
 	rec.AddFacilities = d.points()
 	rec.RemoveFacilities = d.i32s()
+	// Bytes past the legacy fields are the batched-ops suffix. The payload
+	// passed its CRC, so a remainder is always intentional — but its count
+	// must still account for every remaining byte.
+	if d.err == nil && br.Len() > 0 {
+		n := d.u32()
+		if d.err == nil && n > maxSliceLen {
+			d.err = fmt.Errorf("extra-op count %d exceeds the sanity bound %d", n, maxSliceLen)
+		}
+		for i := 0; d.err == nil && i < int(n); i++ {
+			var op Op
+			op.AddClients = d.points()
+			op.RemoveClients = d.i32s()
+			op.AddFacilities = d.points()
+			op.RemoveFacilities = d.i32s()
+			if d.err == nil {
+				rec.Extra = append(rec.Extra, op)
+			}
+		}
+		if d.err == nil && br.Len() > 0 {
+			d.err = fmt.Errorf("%d trailing bytes after the extra-op suffix", br.Len())
+		}
+	}
 	if d.err != nil {
 		return Record{}, d.err
 	}

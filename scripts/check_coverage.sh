@@ -17,7 +17,7 @@ rnnheatmap/heatmap 84
 rnnheatmap/internal/bptree 96
 rnnheatmap/internal/core 92
 rnnheatmap/internal/dataset 90
-rnnheatmap/internal/delta 94
+rnnheatmap/internal/delta 95
 rnnheatmap/internal/enclosure 92
 rnnheatmap/internal/experiment 78
 rnnheatmap/internal/geom 96
@@ -29,8 +29,8 @@ rnnheatmap/internal/pointloc 88
 rnnheatmap/internal/postprocess 95
 rnnheatmap/internal/render 83
 rnnheatmap/internal/rtree 94
-rnnheatmap/internal/server 78
-rnnheatmap/internal/snapshot 79
+rnnheatmap/internal/server 80
+rnnheatmap/internal/snapshot 83
 '
 
 out=$(mktemp)
