@@ -545,6 +545,61 @@ func BenchmarkTileServe(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimal measures the optimal-location query behind GET /optimal:
+// a constrained top-10 over the distinct RNN sets of a 5k-client map. The
+// slab variant resolves face geometry from the point-location index (the
+// geometry is memoized on the map, so iterations measure the steady-state
+// ranking + filtering cost a server sees); the labels variant is the same
+// map with the slab index disabled, i.e. the label-scan fallback without
+// area/bounds recovery.
+func BenchmarkOptimal(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		noSlab bool
+	}{{"slab", false}, {"labels", true}} {
+		m := benchMapCfg(b, 5000, 250, geom.LInf, cfg.noSlab)
+		cons := heatmap.OptimalConstraints{MinDist: 0.5}
+		if !cfg.noSlab {
+			cons.MinArea = 1e-6
+		}
+		// One untimed query materializes the memoized geometry (and, for the
+		// slab variant, the point-location index) outside the timed region.
+		if _, err := m.OptimalTopK(10, cons); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				regs, err := m.OptimalTopK(10, cons)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchHeatSink += regs[0].Heat
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyPlace measures the k-facility placement loop behind POST
+// /optimize: three greedy rounds, each an argmax over the current arrangement
+// plus one incremental ApplyDelta resweep. The map is copy-on-write, so every
+// iteration starts from the same pristine base.
+func BenchmarkGreedyPlace(b *testing.B) {
+	m := benchMap(b, 5000, 250, geom.LInf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steps, _, err := m.GreedyPlace(3, heatmap.OptimalConstraints{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(steps) != 3 {
+			b.Fatalf("placed %d facilities, want 3", len(steps))
+		}
+		benchHeatSink += steps[0].Heat
+	}
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

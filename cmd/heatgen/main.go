@@ -297,10 +297,8 @@ func send(client *http.Client, url, body string, nops int, stop chan struct{}, r
 			// Honor Retry-After, capped so a conservative server hint does
 			// not idle the generator.
 			wait := 50 * time.Millisecond
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra >= 0 {
-				if d := time.Duration(ra) * time.Second; d < wait {
-					wait = d
-				}
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok && d < wait {
+				wait = d
 			}
 			select {
 			case <-stop:
@@ -312,6 +310,31 @@ func send(client *http.Client, url, body string, nops int, stop chan struct{}, r
 			return true
 		}
 	}
+}
+
+// parseRetryAfter interprets a Retry-After header value in either of the two
+// shapes RFC 9110 allows: a non-negative integer delay in seconds, or an
+// HTTP-date after which to retry (reported relative to now, floored at zero
+// — a date in the past means "retry immediately", not "never"). ok is false
+// for an absent or malformed header.
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // fetchStats reads the target map's /stats.

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+		ok   bool
+	}{
+		{"empty", "", 0, false},
+		{"seconds", "3", 3 * time.Second, true},
+		{"zero seconds", "0", 0, true},
+		{"negative seconds", "-1", 0, false},
+		{"not a number or date", "soon", 0, false},
+		{"fractional seconds rejected", "1.5", 0, false},
+		{"http date ahead", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date in the past floors at zero", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"ansi c date", now.Add(30 * time.Second).Format(time.ANSIC), 30 * time.Second, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseRetryAfter(tc.h, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.h, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}

@@ -1,7 +1,9 @@
 // Command heatmapd is a long-running, multi-tenant HTTP server over RNN heat
 // maps: it builds (or loads from CSV or a snapshot) the default map once at
 // startup, then serves raster tiles, influence queries, top-k and threshold
-// exploration, health and stats until shut down — for the default map and
+// exploration, optimal-location analytics (GET /optimal for the exact
+// max-influence region, POST /optimize for greedy what-if facility
+// placement), health and stats until shut down — for the default map and
 // for any further maps created through POST /maps. With -mutable it also
 // accepts live client/facility insertions and deletions, applied
 // incrementally with a copy-on-write map swap. With -snapshot-dir the
@@ -23,6 +25,8 @@
 //	curl localhost:8080/heat?x=-73.985\&y=40.755    # NYC is (lon, lat)
 //	curl -o tile.png localhost:8080/tiles/3/4/2.png
 //	curl -X POST localhost:8080/facilities -d '{"points":[{"x":-73.985,"y":40.755}]}'
+//	curl localhost:8080/optimal?k=3\&min_dist=0.01       # best places to open
+//	curl -X POST 'localhost:8080/optimize?k=2'           # greedy what-if (dry run)
 //	curl localhost:8080/maps
 //	curl -X POST localhost:8080/maps/default/snapshot
 package main

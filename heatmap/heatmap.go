@@ -34,6 +34,7 @@ import (
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/optimal"
 	"rnnheatmap/internal/oset"
 	"rnnheatmap/internal/pointloc"
 	"rnnheatmap/internal/postprocess"
@@ -174,6 +175,13 @@ type Map struct {
 	// use the enclosure path.
 	plMu sync.Mutex
 	pl   atomic.Pointer[plState]
+
+	// Per-set face geometry for the optimal-location engine, grouped from
+	// the slab index's cells on first use (nil when the index is disabled or
+	// declined to build). A Map is immutable once published, so the grouping
+	// is computed once and shared by every Optimal/OptimalTopK call.
+	geoOnce sync.Once
+	geo     *optimal.Geometry
 }
 
 // Region is one labeled region of the heat map.

@@ -190,6 +190,19 @@ func ApplyBatch(st State, ds []Delta, opts Options) (*Outcome, error) {
 
 	coreOpts := core.Options{Measure: opts.Measure, Workers: opts.Workers}
 	out, err := core.Resweep(ws.circles, coreOpts, st.Labels, ws.perturbed, opts.MaxResweepFraction)
+	if errors.Is(err, core.ErrNoCircles) && len(ws.circles) > 0 {
+		// Every remaining NN-circle is zero-radius — each client sits
+		// exactly on a facility, so no location can steal any of them. That
+		// is a legitimate (if degenerate) outcome of a legal update, e.g.
+		// opening a facility on top of the last influential client: the
+		// arrangement is empty, not in error. The sweep cannot represent it
+		// (it refuses inputs with no usable circles), so synthesize the
+		// empty result here; consumers see zero regions and answer
+		// explicitly (heatmap.ErrNoRegions, HTTP 409) instead of the update
+		// failing after it was validated.
+		out = &core.ResweepOutcome{Result: &core.Result{}, Rebuilt: true}
+		err = nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("delta: %w", err)
 	}

@@ -107,3 +107,34 @@ func TestHistogram(t *testing.T) {
 		t.Errorf("constant-heat histogram wrong: %v", c)
 	}
 }
+
+// TestHistogramMinEqualsMax pins the degenerate all-equal-heats contract:
+// when every region has the same heat the range is widened to [lo, lo+1],
+// every label lands in the first bin, and the remaining bins are zero. A
+// dashboard drawing the legend from these edges gets a well-formed (if
+// flat) histogram rather than NaN edges.
+func TestHistogramMinEqualsMax(t *testing.T) {
+	labels := []core.Label{lbl(7, 1), lbl(7, 2), lbl(7, 3)}
+	for _, bins := range []int{1, 4} {
+		edges, counts := Histogram(labels, bins)
+		if len(edges) != bins+1 || len(counts) != bins {
+			t.Fatalf("bins=%d: edges=%d counts=%d", bins, len(edges), len(counts))
+		}
+		if edges[0] != 7 || edges[bins] != 8 {
+			t.Errorf("bins=%d: edge span [%g, %g], want [7, 8]", bins, edges[0], edges[bins])
+		}
+		if counts[0] != len(labels) {
+			t.Errorf("bins=%d: first bin holds %d, want all %d", bins, counts[0], len(labels))
+		}
+		for i := 1; i < bins; i++ {
+			if counts[i] != 0 {
+				t.Errorf("bins=%d: bin %d = %d, want 0", bins, i, counts[i])
+			}
+		}
+		for i := 1; i <= bins; i++ {
+			if edges[i] <= edges[i-1] {
+				t.Errorf("bins=%d: edges not strictly increasing at %d: %v", bins, i, edges)
+			}
+		}
+	}
+}

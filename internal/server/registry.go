@@ -40,6 +40,11 @@ type mapInstance struct {
 	// dirty is set when the in-memory map has state (mutations, or a fresh
 	// build) not yet folded into the on-disk snapshot.
 	dirty atomic.Bool
+	// Optimal-location counters, surfaced in /stats: GET /optimal queries,
+	// POST /optimize runs (dry or committed), and facilities placed by them.
+	optimalQueries atomic.Int64
+	optimizeRuns   atomic.Int64
+	placements     atomic.Int64
 }
 
 // state returns the instance's current map snapshot.

@@ -20,6 +20,8 @@
 //	GET    /maps/{map}/topk               (alias /topk)
 //	GET    /maps/{map}/regions            (alias /regions)
 //	GET    /maps/{map}/histogram          (alias /histogram)
+//	GET    /maps/{map}/optimal            (alias /optimal)
+//	POST   /maps/{map}/optimize           (alias /optimize)
 //	GET    /maps/{map}/stats              (alias /stats)
 //	POST/DELETE /maps/{map}/clients, /maps/{map}/facilities   (aliases too)
 //	POST   /maps/{map}/mutations          batched mutation ops (alias /mutations)
@@ -277,6 +279,8 @@ func (s *Server) routes() {
 		"GET /topk":              s.handleTopK,
 		"GET /regions":           s.handleRegions,
 		"GET /histogram":         s.handleHistogram,
+		"GET /optimal":           s.handleOptimal,
+		"POST /optimize":         s.handleOptimize,
 		"GET /tiles/{z}/{x}/{y}": s.handleTile,
 		"POST /mutations":        s.handleMutations,
 		"POST /clients":          s.handleAddClients,
@@ -403,6 +407,15 @@ type statsResponse struct {
 	Tiles         tileStats   `json:"tiles"`
 	Ingest        ingestStats `json:"ingest"`
 	QueryIndex    queryIndex  `json:"query_index"`
+	Optimal       optimStats  `json:"optimal"`
+}
+
+// optimStats counts the optimal-location traffic: /optimal queries,
+// /optimize runs (dry or committed), and facilities placed by them.
+type optimStats struct {
+	Queries      int64 `json:"queries"`
+	OptimizeRuns int64 `json:"optimize_runs"`
+	Placements   int64 `json:"placements"`
 }
 
 // queryIndex describes the point-query path serving /heat, /heat/batch and
@@ -517,6 +530,11 @@ func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.R
 		},
 		Ingest:     s.ingestStatsOf(inst),
 		QueryIndex: queryIndexOf(st.m),
+		Optimal: optimStats{
+			Queries:      inst.optimalQueries.Load(),
+			OptimizeRuns: inst.optimizeRuns.Load(),
+			Placements:   inst.placements.Load(),
+		},
 	})
 }
 
@@ -628,8 +646,11 @@ func (s *Server) handleTopK(inst *mapInstance, w http.ResponseWriter, r *http.Re
 		k = s.maxRegions
 	}
 	regions := inst.state().m.TopK(k)
+	// count makes the degenerate case explicit: a map with no labeled
+	// regions answers count 0 and an empty list, never fabricated regions.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"k":       k,
+		"count":   len(regions),
 		"regions": toRegionJSON(regions),
 	})
 }
