@@ -3,21 +3,21 @@ GO ?= go
 # BENCH_OUT is where `make bench` writes its JSON snapshot; each PR bumps the
 # default instead of editing the recipe. Override per run:
 #   make bench BENCH_OUT=/tmp/bench.json
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 # BENCH_BASELINE is the committed baseline `make bench-regress` gates against.
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 # GATE_BENCH selects the hot-path benchmarks the regression gate watches;
 # MAX_REGRESS is the time/op growth (percent) that fails it, and
 # MAX_ALLOC_REGRESS the allocs/op growth (only checked for benchmarks whose
 # baseline recorded allocation metrics). CI reuses all three via
 # `make bench-compare`, so the gate is defined exactly once.
-GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt|BenchmarkIngestBatch|BenchmarkReadUnderWriteLoad|BenchmarkOptimal|BenchmarkGreedyPlace
+GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt|BenchmarkIngestBatch|BenchmarkReadUnderWriteLoad|BenchmarkOptimal|BenchmarkGreedyPlace|BenchmarkSnapshotLoad
 MAX_REGRESS ?= 20
 MAX_ALLOC_REGRESS ?= 20
 # BENCH_NEW is the fresh run bench-compare gates against the baseline.
 BENCH_NEW ?= /tmp/bench_pr.json
 
-.PHONY: ci fmt-check vet lint build test-short-race test cover bench bench-gate bench-compare bench-regress bench-parallel fuzz-smoke serve
+.PHONY: ci fmt-check vet lint build test-short-race test cover bench bench-gate bench-compare bench-regress bench-parallel bench-rss fuzz-smoke serve
 
 # ci is the gate every change must pass: formatting, vet, build, the fast
 # suite under the race detector (the strip-parallel sweep and the mutable
@@ -95,6 +95,14 @@ bench-regress:
 # the partition layer's speedup (see bench_test.go).
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkCRESTParallel -benchtime 2x .
+
+# bench-rss measures serving RSS for the three snapshot load paths (v1
+# decode, v2 decode, v2 mmap) on a dense L2 map; the mmap number tracks the
+# zero-copy claim — resident pages are the touched sections, not the decoded
+# arrangement. Informational alongside bench-regress (RSS is too
+# machine-sensitive to hard-gate).
+bench-rss:
+	./scripts/measure_rss.sh
 
 # fuzz-smoke replays the committed corpora and fuzzes the three differential
 # harnesses — Region Coloring vs the grid baseline, slab point-location vs

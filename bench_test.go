@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -766,4 +767,51 @@ func BenchmarkReadUnderWriteLoad(b *testing.B) {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	p99 := lat[int(0.99*float64(len(lat)-1))]
 	b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-ms")
+}
+
+// BenchmarkSnapshotLoad measures cold-start restore of a dense L2 map (10
+// clients per facility — the densest L2 regime whose slab decomposition
+// fits the cell cap, so the v2 file embeds the point-location index) across
+// the three load paths: format-v1 decode, format-v2 decode to heap, and
+// format-v2 mmap open — the zero-copy serving path, whose acceptance bar is
+// >=10x over v1 decode. Every iteration re-opens the file and answers one
+// point query, so the mmap number includes section validation and the first
+// slab lookup but no decode and no index rebuild.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	m := benchMap(b, 1000, 100, geom.L2)
+	dir := b.TempDir()
+	v1Path := filepath.Join(dir, "snap_v1.bin")
+	v2Path := filepath.Join(dir, "snap_v2.bin")
+	if err := m.SaveSnapshotFormat(v1Path, 1, heatmap.SnapshotV1); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SaveSnapshot(v2Path, 1); err != nil {
+		b.Fatal(err)
+	}
+	bounds := m.Bounds()
+	probe := heatmap.Pt(bounds.MinX+bounds.Width()/3, bounds.MinY+bounds.Height()/3)
+	want, _ := m.HeatAt(probe)
+	for _, bc := range []struct {
+		name string
+		open func() (*heatmap.Map, uint64, error)
+	}{
+		{"v1-decode", func() (*heatmap.Map, uint64, error) { return heatmap.LoadSnapshot(v1Path) }},
+		{"v2-decode", func() (*heatmap.Map, uint64, error) { return heatmap.LoadSnapshot(v2Path) }},
+		{"v2-mmap", func() (*heatmap.Map, uint64, error) { return heatmap.OpenSnapshot(v2Path) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lm, _, err := bc.open()
+				if err != nil {
+					b.Fatal(err)
+				}
+				heat, _ := lm.HeatAt(probe)
+				if heat != want {
+					b.Fatalf("%s: heat %v != %v", bc.name, heat, want)
+				}
+				benchHeatSink += heat
+			}
+		})
+	}
 }

@@ -45,7 +45,10 @@ func main() {
 		seed          = flag.Int64("seed", 1, "random seed for sampling")
 		workers       = flag.Int("workers", 0, "parallel sweep strips (0 = one per CPU, 1 = sequential)")
 		saveSnapshot  = flag.String("save-snapshot", "", "write the built map to this snapshot file")
+		snapFormat    = flag.String("snapshot-format", "v2", "snapshot layout for -save-snapshot: v2 (mmap-able, the default) or v1 (rollback; -load-snapshot accepts both)")
 		loadSnapshot  = flag.String("load-snapshot", "", "load the map from this snapshot file instead of building")
+		loadMode      = flag.String("load-mode", "mmap", "how -load-snapshot restores the map: mmap (zero-copy for v2 files, the serving path) or decode (force the heap decode path)")
+		memStats      = flag.Bool("mem-stats", false, "print process residency (VmRSS/VmHWM from /proc/self/status) before exiting; scripts/measure_rss.sh parses this")
 	)
 	flag.Parse()
 
@@ -69,7 +72,14 @@ func main() {
 		})
 		start := time.Now()
 		var err error
-		m, mapVersion, err = heatmap.LoadSnapshot(*loadSnapshot)
+		switch *loadMode {
+		case "", "mmap":
+			m, mapVersion, err = heatmap.OpenSnapshot(*loadSnapshot)
+		case "decode":
+			m, mapVersion, err = heatmap.LoadSnapshot(*loadSnapshot)
+		default:
+			log.Fatalf("-load-mode must be mmap or decode, got %q", *loadMode)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,11 +146,49 @@ func main() {
 	}
 
 	if *saveSnapshot != "" {
+		var format heatmap.SnapshotFormat
+		switch *snapFormat {
+		case "", "v2":
+			format = heatmap.SnapshotV2
+		case "v1":
+			format = heatmap.SnapshotV1
+		default:
+			log.Fatalf("-snapshot-format must be v1 or v2, got %q", *snapFormat)
+		}
 		start := time.Now()
-		if err := m.SaveSnapshot(*saveSnapshot, mapVersion); err != nil {
+		if err := m.SaveSnapshotFormat(*saveSnapshot, mapVersion, format); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nsnapshot written to %s in %v\n", *saveSnapshot, time.Since(start).Round(time.Microsecond))
+	}
+
+	if *memStats {
+		printMemStats(m)
+	}
+}
+
+// printMemStats reports the kernel's view of the process — current and peak
+// resident set, split into anonymous (heap, unreclaimable) and file-backed
+// (mapped snapshot pages, plain reclaimable page cache) — next to the map's
+// residency mode, so the zero-copy claim is measurable: a decoded load's
+// arrangement is all RssAnon, a mapped load keeps RssAnon flat and shows up
+// as RssFile the kernel can drop under pressure. /proc is Linux-only;
+// elsewhere the kernel lines are skipped.
+func printMemStats(m *heatmap.Map) {
+	fmt.Printf("\nresidency: %s\n", m.Residency())
+	status, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		fmt.Println("mem-stats: /proc/self/status unavailable on this platform")
+		return
+	}
+	for _, line := range strings.Split(string(status), "\n") {
+		switch {
+		case strings.HasPrefix(line, "VmRSS:"),
+			strings.HasPrefix(line, "VmHWM:"),
+			strings.HasPrefix(line, "RssAnon:"),
+			strings.HasPrefix(line, "RssFile:"):
+			fmt.Println(line)
+		}
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"rnnheatmap/internal/pointloc"
 	"rnnheatmap/internal/postprocess"
 	"rnnheatmap/internal/render"
+	"rnnheatmap/internal/snapshot"
 )
 
 // Point is a location in the plane.
@@ -182,6 +183,18 @@ type Map struct {
 	// is computed once and shared by every Optimal/OptimalTopK call.
 	geoOnce sync.Once
 	geo     *optimal.Geometry
+
+	// A mapped map (OpenSnapshot on a format-v2 file) serves queries, tiles
+	// and metadata straight off the snapshot view — view holds the mmap'd
+	// file, mloc the slab locator over it (nil when the file carries no slab
+	// index). Heap structures (clients, circles, labels, enclosure index)
+	// materialize lazily under matOnce the first time an operation needs
+	// them — region enumeration, ApplyDelta, the enclosure fallback — after
+	// which the map is "mapped+heap". Both fields are nil for heap maps.
+	view         *snapshot.View
+	mloc         *pointloc.Mapped
+	matOnce      sync.Once
+	materialized atomic.Bool
 }
 
 // Region is one labeled region of the heat map.
@@ -316,6 +329,10 @@ func (m *Map) ApplyDeltaBatch(ds []Delta) (*Map, DeltaStats, error) {
 	if err := m.DeltaSupported(); err != nil {
 		return nil, DeltaStats{}, err
 	}
+	// A mapped map promotes to heap copy-on-write: the delta engine needs the
+	// heap point/circle/label slices, and the map it produces is an ordinary
+	// heap map (the receiver keeps serving reads off the file mapping).
+	m.materialize()
 	dds := make([]delta.Delta, len(ds))
 	for i, d := range ds {
 		dds[i] = delta.Delta{
@@ -402,9 +419,21 @@ func (m *Map) DeltaSupported() error {
 }
 
 // NumClients and NumFacilities return the sizes of the client and facility
-// sets the map was built from (after any ApplyDelta updates).
-func (m *Map) NumClients() int    { return len(m.cfg.Clients) }
-func (m *Map) NumFacilities() int { return len(m.cfg.Facilities) }
+// sets the map was built from (after any ApplyDelta updates). A mapped map
+// answers from the snapshot header without touching the point sections.
+func (m *Map) NumClients() int {
+	if m.view != nil {
+		return m.view.Meta().NumClients
+	}
+	return len(m.cfg.Clients)
+}
+
+func (m *Map) NumFacilities() int {
+	if m.view != nil {
+		return m.view.Meta().NumFacilities
+	}
+	return len(m.cfg.Facilities)
+}
 
 // NearestAssignment returns, for each client, the index of its nearest
 // facility under the metric — the "current assignment" the
@@ -425,6 +454,7 @@ func NearestAssignment(clients, facilities []Point, metric Metric) ([]int, error
 
 // Regions returns every labeled region.
 func (m *Map) Regions() []Region {
+	m.materialize()
 	out := make([]Region, len(m.result.Labels))
 	for i, l := range m.result.Labels {
 		out[i] = Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
@@ -433,12 +463,64 @@ func (m *Map) Regions() []Region {
 }
 
 // NumRegions returns the number of labeled regions.
-func (m *Map) NumRegions() int { return len(m.result.Labels) }
+func (m *Map) NumRegions() int {
+	if m.view != nil {
+		return m.view.Meta().NumLabels
+	}
+	return len(m.result.Labels)
+}
 
-// MaxHeat returns the largest heat value and a region attaining it.
+// MaxHeat returns the largest heat value and a region attaining it. A mapped
+// map answers from the snapshot header, where the argmax label is stored
+// whole.
 func (m *Map) MaxHeat() (float64, Region) {
+	if m.view != nil {
+		meta := m.view.Meta()
+		l := meta.MaxLabel
+		return meta.MaxHeat, Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
+	}
 	l := m.result.MaxLabel
 	return m.result.MaxHeat, Region{RNN: l.RNN, Heat: l.Heat, Point: l.Point}
+}
+
+// materialize builds the heap structures of a mapped map — client and
+// facility slices, circles, labels, the enclosure index — from the snapshot
+// view. It is a no-op for heap maps and runs at most once; operations that
+// can be answered from the view's metadata or the mapped locator never call
+// it, so a snapshot-serving process that only answers queries and tiles
+// keeps its heap resident set at zero.
+func (m *Map) materialize() {
+	if m.view == nil {
+		return
+	}
+	m.matOnce.Do(func() {
+		s := m.view.Snapshot()
+		m.cfg.Clients = s.Clients
+		m.cfg.Facilities = s.Facilities
+		m.circles = s.Circles
+		m.result = &core.Result{
+			Labels:   s.Labels,
+			MaxHeat:  s.MaxHeat,
+			MaxLabel: s.MaxLabel,
+			Stats:    s.Stats,
+		}
+		m.index = enclosure.NewRTreeIndex(nncircle.Circles(s.Circles))
+		m.materialized.Store(true)
+	})
+}
+
+// Residency reports where the map's data lives: "heap" for built or
+// v1-restored maps, "mapped" for a format-v2 snapshot served off the file
+// mapping alone, and "mapped+heap" once an operation has materialized heap
+// structures alongside the mapping. Servers surface it in /stats.
+func (m *Map) Residency() string {
+	if m.view == nil {
+		return "heap"
+	}
+	if m.materialized.Load() {
+		return "mapped+heap"
+	}
+	return "mapped"
 }
 
 // plState is the resolved slab-index state: Index is nil when the index is
@@ -456,6 +538,10 @@ func (m *Map) pointLoc() *pointloc.Index {
 	if st := m.pl.Load(); st != nil {
 		return st.ix
 	}
+	// A mapped map needs heap circles and labels before a heap index can be
+	// built (reached only when the snapshot carries no slab sections, since
+	// locator() prefers the mapped locator).
+	m.materialize()
 	m.plMu.Lock()
 	defer m.plMu.Unlock()
 	if st := m.pl.Load(); st != nil {
@@ -494,13 +580,32 @@ func (m *Map) setPointLoc(ix *pointloc.Index) {
 
 // SlabIndexStats reports whether the slab point-location index is currently
 // materialized and, if so, its slab and cell counts. It never forces a
-// build; servers surface it in /stats.
+// build; servers surface it in /stats. On a mapped map the counts come from
+// the snapshot's slab sections, which are resident by construction.
 func (m *Map) SlabIndexStats() (built bool, slabs, cells int) {
+	if m.mloc != nil {
+		return true, m.mloc.NumSlabs(), m.mloc.Cells()
+	}
 	ix, done := m.builtPointLoc()
 	if !done || ix == nil {
 		return false, 0, 0
 	}
 	return true, ix.NumSlabs(), ix.Cells()
+}
+
+// locator returns the preferred point-location locator: the mapped slab
+// locator for snapshot-backed maps, else the heap index (built on first
+// use), else nil when the slab index is disabled or declined — queries then
+// take the enclosure path. The branches keep a nil *pointloc.Index from
+// leaking into the interface as a non-nil value.
+func (m *Map) locator() pointloc.Locator {
+	if m.mloc != nil {
+		return m.mloc
+	}
+	if ix := m.pointLoc(); ix != nil {
+		return ix
+	}
+	return nil
 }
 
 // HeatAt returns the heat and RNN set of an arbitrary location, including
@@ -512,8 +617,8 @@ func (m *Map) SlabIndexStats() (built bool, slabs, cells int) {
 // boundary convention (see internal/enclosure) and return identical
 // answers.
 func (m *Map) HeatAt(p Point) (float64, []int) {
-	if ix := m.pointLoc(); ix != nil {
-		heat, rnn := ix.Query(p)
+	if loc := m.locator(); loc != nil {
+		heat, rnn := loc.Query(p)
 		return heat, copyInts(rnn)
 	}
 	return m.heatAtEnclosure(p)
@@ -534,10 +639,10 @@ func (m *Map) heatAtEnclosure(p Point) (float64, []int) {
 // points are sorted by sweep x once and the slab list is walked
 // monotonically; the fallback issues one enclosure batch.
 func (m *Map) HeatAtBatch(ps []Point) (heats []float64, rnns [][]int) {
-	if ix := m.pointLoc(); ix != nil {
+	if loc := m.locator(); loc != nil {
 		// QueryBatch hands back caller-owned arena-packed copies, so the
 		// answers are safe to retain as-is.
-		return ix.QueryBatch(ps)
+		return loc.QueryBatch(ps)
 	}
 	heats = make([]float64, len(ps))
 	rnns = make([][]int, len(ps))
@@ -577,12 +682,22 @@ func (m *Map) MeasureName() string { return m.measure.Name() }
 // concurrent use.
 func (m *Map) Renderer() (*render.Renderer, error) {
 	m.rendererOnce.Do(func() {
+		if m.mloc != nil {
+			// The mmap cold path: rasterize straight off the snapshot's slab
+			// sections — no circles, no enclosure index, no heap decode.
+			m.renderer, m.rendererErr = render.NewLocatorRenderer(m.mloc, m.bounds, m.measure)
+			return
+		}
 		m.renderer, m.rendererErr = render.NewRenderer(m.circles, m.index, m.measure)
 		if m.rendererErr == nil {
 			// Tiles are the hottest read path; rasterizing from the slab
 			// index walks each pixel row through the slabs monotonically
-			// instead of running one enclosure query per pixel.
-			m.renderer.UsePointLoc(m.pointLoc())
+			// instead of running one enclosure query per pixel. The guard
+			// matters: passing a nil *pointloc.Index through the interface
+			// parameter would read as non-nil inside UsePointLoc.
+			if ix := m.pointLoc(); ix != nil {
+				m.renderer.UsePointLoc(ix)
+			}
 		}
 	})
 	return m.renderer, m.rendererErr
@@ -600,6 +715,7 @@ func (m *Map) RasterizeRect(bounds Rect, width, height int) (*render.Raster, err
 
 // TopK returns the k hottest regions with distinct RNN sets, hottest first.
 func (m *Map) TopK(k int) []Region {
+	m.materialize()
 	labels := postprocess.TopK(m.result.Labels, k, true)
 	out := make([]Region, len(labels))
 	for i, l := range labels {
@@ -610,6 +726,7 @@ func (m *Map) TopK(k int) []Region {
 
 // AboveThreshold returns the regions whose heat is at least minHeat.
 func (m *Map) AboveThreshold(minHeat float64) []Region {
+	m.materialize()
 	labels := postprocess.Threshold(m.result.Labels, minHeat)
 	out := make([]Region, len(labels))
 	for i, l := range labels {
@@ -619,20 +736,33 @@ func (m *Map) AboveThreshold(minHeat float64) []Region {
 }
 
 // Stats exposes the work counters of the underlying Region Coloring run.
-func (m *Map) Stats() core.Stats { return m.result.Stats }
+func (m *Map) Stats() core.Stats {
+	if m.view != nil {
+		return m.view.Meta().Stats
+	}
+	return m.result.Stats
+}
 
 // Summary describes the heat distribution over the labeled regions: region
 // and distinct-RNN-set counts, min/mean/max heat and the largest RNN set
 // size (the paper's λ).
 type Summary = postprocess.Summary
 
-// Summary computes distributional statistics over all labeled regions.
-func (m *Map) Summary() Summary { return postprocess.Summarize(m.result.Labels) }
+// Summary computes distributional statistics over all labeled regions. For a
+// mapped map the summary was computed at save time and is read back from the
+// snapshot header — no label scan.
+func (m *Map) Summary() Summary {
+	if m.view != nil {
+		return m.view.Meta().Summary
+	}
+	return postprocess.Summarize(m.result.Labels)
+}
 
 // HeatHistogram buckets the labeled regions' heat values into the given
 // number of equal-width bins between the minimum and maximum heat. It
 // returns the bin edges (length bins+1) and counts (length bins).
 func (m *Map) HeatHistogram(bins int) (edges []float64, counts []int) {
+	m.materialize()
 	return postprocess.Histogram(m.result.Labels, bins)
 }
 

@@ -86,6 +86,9 @@ func (m *Map) optimalTopK(k int, cons OptimalConstraints, withGeometry bool) ([]
 	if k < 1 {
 		return nil, fmt.Errorf("heatmap: OptimalTopK requires k >= 1, got %d", k)
 	}
+	// The ranking scans the heap label slice; a mapped map materializes it
+	// here (metadata and query serving stay decode-free).
+	m.materialize()
 	var geo *optimal.Geometry
 	if withGeometry || cons.MinArea > 0 {
 		geo = m.geometry()

@@ -1,6 +1,7 @@
 package heatmap
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -9,6 +10,7 @@ import (
 	"rnnheatmap/internal/geom"
 	"rnnheatmap/internal/influence"
 	"rnnheatmap/internal/nncircle"
+	"rnnheatmap/internal/pointloc"
 	"rnnheatmap/internal/snapshot"
 )
 
@@ -26,6 +28,7 @@ func (m *Map) Snapshot(mapVersion uint64) (*snapshot.Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("heatmap: %w", err)
 	}
+	m.materialize()
 	return &snapshot.Snapshot{
 		MapVersion:    mapVersion,
 		Metric:        m.cfg.Metric,
@@ -90,7 +93,9 @@ func FromSnapshot(s *snapshot.Snapshot) (*Map, error) {
 }
 
 // WriteSnapshot encodes the map (at the given map version) to w in the
-// versioned binary snapshot format.
+// versioned binary snapshot format (format v1 — the streaming encoding; use
+// SaveSnapshot for the mmap-able format-v2 file layout, which needs a
+// seekable target).
 func (m *Map) WriteSnapshot(w io.Writer, mapVersion uint64) error {
 	s, err := m.Snapshot(mapVersion)
 	if err != nil {
@@ -99,13 +104,48 @@ func (m *Map) WriteSnapshot(w io.Writer, mapVersion uint64) error {
 	return s.Encode(w)
 }
 
-// SaveSnapshot atomically writes the map's snapshot to path.
+// SnapshotFormat selects the on-disk snapshot layout for SaveSnapshotFormat.
+type SnapshotFormat = snapshot.Format
+
+// Snapshot formats: v1 is the legacy streaming encoding, v2 the sectioned
+// mmap-able layout OpenSnapshot serves zero-copy. The zero value means the
+// default (v2).
+const (
+	SnapshotV1 SnapshotFormat = snapshot.FormatV1
+	SnapshotV2 SnapshotFormat = snapshot.FormatV2
+)
+
+// SaveSnapshot atomically writes the map's snapshot to path in the default
+// format (v2). The slab point-location index is built if needed and stored
+// in the file, so OpenSnapshot can serve queries and tiles without a decode
+// or rebuild step.
 func (m *Map) SaveSnapshot(path string, mapVersion uint64) error {
+	return m.SaveSnapshotFormat(path, mapVersion, SnapshotV2)
+}
+
+// SaveSnapshotFormat is SaveSnapshot with an explicit format: SnapshotV1 is
+// the rollback escape hatch for downgrading to binaries that predate format
+// v2 (older readers reject v2 files by version, never misread them).
+func (m *Map) SaveSnapshotFormat(path string, mapVersion uint64, format SnapshotFormat) error {
 	s, err := m.Snapshot(mapVersion)
 	if err != nil {
 		return err
 	}
-	return s.WriteFile(path)
+	if format == SnapshotV1 {
+		return s.WriteFile(path)
+	}
+	return s.WriteFileFormat(path, format, m.slabTables())
+}
+
+// slabTables exports the slab index for embedding in a format-v2 snapshot,
+// building it first if the map allows one (nil with NoSlabIndex or when the
+// build declined — the file is then written without slab sections and
+// OpenSnapshot falls back to materializing on first query).
+func (m *Map) slabTables() *snapshot.SlabTables {
+	if ix := m.pointLoc(); ix != nil {
+		return ix.ExportTables()
+	}
+	return nil
 }
 
 // ReadSnapshot decodes a snapshot from r and restores the map, returning the
@@ -122,7 +162,9 @@ func ReadSnapshot(r io.Reader) (*Map, uint64, error) {
 	return m, s.MapVersion, nil
 }
 
-// LoadSnapshot restores a map saved with SaveSnapshot.
+// LoadSnapshot restores a map saved with SaveSnapshot by decoding the whole
+// file to the heap (either format). Prefer OpenSnapshot, which serves
+// format-v2 files off a file mapping instead.
 func LoadSnapshot(path string) (*Map, uint64, error) {
 	s, err := snapshot.ReadFile(path)
 	if err != nil {
@@ -133,4 +175,69 @@ func LoadSnapshot(path string) (*Map, uint64, error) {
 		return nil, 0, err
 	}
 	return m, s.MapVersion, nil
+}
+
+// OpenSnapshot restores a map from a snapshot file, serving format-v2 files
+// zero-copy: the file is mapped (or read once on platforms without mmap) and
+// queries, tiles and metadata resolve directly against the validated
+// sections — no decode, no index rebuild. Operations that need heap
+// structures (region enumeration, ApplyDelta, optimal-location ranking)
+// materialize them lazily; see (*Map).Residency. Format-v1 files fall back
+// to LoadSnapshot transparently.
+func OpenSnapshot(path string) (*Map, uint64, error) {
+	v, err := snapshot.Open(path)
+	if err != nil {
+		if errors.Is(err, snapshot.ErrFormatV1) {
+			return LoadSnapshot(path)
+		}
+		return nil, 0, err
+	}
+	m, err := fromView(v)
+	if err != nil {
+		v.Close()
+		return nil, 0, err
+	}
+	return m, m.view.Meta().MapVersion, nil
+}
+
+// fromView builds a mapped Map over an open format-v2 view, mirroring
+// FromSnapshot's validation against the header metadata. The view's
+// lifetime is tied to the map: it stays mapped for as long as the map is
+// reachable (views are small kernel objects backed by the page cache, so
+// maps dropped without Close leak nothing but address space).
+func fromView(v *snapshot.View) (*Map, error) {
+	meta := v.Meta()
+	if !meta.Metric.Valid() {
+		return nil, fmt.Errorf("heatmap: snapshot has invalid metric %v", meta.Metric)
+	}
+	if meta.NumClients == 0 {
+		return nil, fmt.Errorf("heatmap: snapshot has no clients")
+	}
+	if meta.NumCircles != meta.NumClients {
+		return nil, fmt.Errorf("heatmap: snapshot has %d circles for %d clients", meta.NumCircles, meta.NumClients)
+	}
+	measure, err := meta.Measure.Measure()
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: %w", err)
+	}
+	m := &Map{
+		cfg: Config{
+			Monochromatic: meta.Monochromatic,
+			Metric:        meta.Metric,
+			Measure:       measure,
+			Algorithm:     Algorithm(meta.Algorithm),
+			Workers:       meta.Workers,
+		},
+		bounds:  meta.Bounds,
+		measure: measure,
+		view:    v,
+	}
+	if meta.HasSlabIndex {
+		mloc, err := pointloc.NewMapped(v, measure)
+		if err != nil {
+			return nil, fmt.Errorf("heatmap: %w", err)
+		}
+		m.mloc = mloc
+	}
+	return m, nil
 }

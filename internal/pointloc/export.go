@@ -1,0 +1,53 @@
+package pointloc
+
+import (
+	"sort"
+
+	"rnnheatmap/internal/snapshot"
+)
+
+// ExportTables flattens the built index into the prefix-offset arrays a
+// format-v2 snapshot stores (and a Mapped locator queries in place). Gap
+// labels are exported as their interned pointers; the snapshot encoder
+// dedupes them into the file's set pool. The returned slices alias the
+// index's own arrays where the layouts already agree (xs, zero xs), so the
+// export is cheap relative to a save.
+func (ix *Index) ExportTables() *snapshot.SlabTables {
+	t := &snapshot.SlabTables{
+		Xs:      ix.xs,
+		ActOff:  make([]uint32, 1, len(ix.slabs)+1),
+		EdgeOff: make([]uint32, 1, len(ix.slabs)+1),
+		ZeroXs:  ix.zeroXs,
+	}
+	for i := range ix.slabs {
+		sl := &ix.slabs[i]
+		t.Actives = append(t.Actives, sl.actives...)
+		t.ActOff = append(t.ActOff, uint32(len(t.Actives)))
+		t.Edges = append(t.Edges, sl.edges...)
+		t.EdgeOff = append(t.EdgeOff, uint32(len(t.Edges)))
+		for _, a := range sl.arcs {
+			enc := uint32(a.circle) << 1
+			if a.upper {
+				enc |= 1
+			}
+			t.Arcs = append(t.Arcs, enc)
+		}
+		t.Gaps = append(t.Gaps, sl.gaps...)
+	}
+	// Reconstruct the zero-radius circles' positions in the full circle
+	// slice the same way initCircles selected and ordered them, so
+	// ZeroIdx[k] is the circle behind zeroXs[k].
+	for i, nc := range ix.sweepAll {
+		if nc.Circle.Radius <= 0 {
+			t.ZeroIdx = append(t.ZeroIdx, int32(i))
+		}
+	}
+	sort.SliceStable(t.ZeroIdx, func(a, b int) bool {
+		return ix.toSweep(ix.all[t.ZeroIdx[a]].Circle.Center).X <
+			ix.toSweep(ix.all[t.ZeroIdx[b]].Circle.Center).X
+	})
+	if t.Arcs == nil {
+		t.Arcs = []uint32{}
+	}
+	return t
+}

@@ -1,0 +1,325 @@
+package pointloc
+
+import (
+	"errors"
+	"math"
+	"slices"
+	"sort"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/influence"
+	"rnnheatmap/internal/oset"
+	"rnnheatmap/internal/snapshot"
+)
+
+// Mapped answers point-location queries straight off a format-v2 snapshot
+// view: the slab boundaries, edge lists and gap pool ids are the mmap'd file
+// bytes, so a cold map serves its first query with no decode step. The query
+// logic deliberately mirrors Index (query.go) operation for operation — same
+// sweep transform, same epsilon bands, same exact fallback evaluated in
+// ascending client order — so answers are byte-identical to the heap index
+// and the enclosure oracle; the differential tests in mapped_test.go enforce
+// that.
+//
+// RNN sets are the one thing not stored ready-to-return (the file holds i32
+// member lists); a query that needs one materializes a caller-owned copy of
+// just that record — a cold replica answering a single point query never
+// decodes the rest of the pool. Heat-only paths (HeatBatch, tile rendering)
+// touch only the heat section and allocate nothing per hit.
+type Mapped struct {
+	metric  geom.Metric
+	measure influence.Measure
+	view    *snapshot.View
+	slab    *snapshot.SlabView
+
+	emptyHeat float64
+	emptyRNN  []int
+}
+
+// NewMapped builds a mapped locator over v, which must carry a slab index
+// (snapshot.Meta.HasSlabIndex). measure must be the snapshot's own measure —
+// it is only invoked on the exact fallback path, and a different measure
+// would disagree with the heats stored in the file.
+func NewMapped(v *snapshot.View, measure influence.Measure) (*Mapped, error) {
+	if !v.HasSlabIndex() {
+		return nil, errors.New("pointloc: snapshot carries no slab index")
+	}
+	if measure == nil {
+		measure = influence.Size()
+	}
+	return &Mapped{
+		metric:    v.Meta().Metric,
+		measure:   measure,
+		view:      v,
+		slab:      v.Slab(),
+		emptyHeat: measure.Influence(oset.New()),
+		emptyRNN:  []int{},
+	}, nil
+}
+
+// Metric returns the original metric of the indexed circles.
+func (m *Mapped) Metric() geom.Metric { return m.metric }
+
+// NumSlabs returns the number of slabs.
+func (m *Mapped) NumSlabs() int { return len(m.slab.Xs) }
+
+// Cells returns the stored cell count, computed the way the heap builder
+// counts: one per slab plus two per edge.
+func (m *Mapped) Cells() int { return len(m.slab.Xs) + 2*len(m.slab.Edges) }
+
+func (m *Mapped) eps(v float64) float64 {
+	rel := epsRelRect
+	if m.metric == geom.L2 {
+		rel = epsRelL2
+	}
+	return rel * (1 + math.Abs(v))
+}
+
+func (m *Mapped) toSweep(p geom.Point) geom.Point {
+	if m.metric == geom.L1 {
+		return geom.RotateL1ToLInf(p)
+	}
+	return p
+}
+
+// Query returns the heat and RNN set of the face containing p; see
+// Index.Query for the contract. The returned slice is a caller-owned copy
+// of the mapped record.
+func (m *Mapped) Query(p geom.Point) (float64, []int) {
+	q := m.toSweep(p)
+	i, direct := m.locateSlab(q.X)
+	if !direct {
+		return m.exact(p, q.X)
+	}
+	if i < 0 {
+		return m.emptyHeat, m.emptyRNN
+	}
+	gid, ok := m.lookup(i, q)
+	if !ok {
+		return m.exact(p, q.X)
+	}
+	return m.view.PoolHeat(gid), m.poolRNN(gid)
+}
+
+// poolRNN materializes one pool record's member list as a caller-owned
+// copy, leaving View.PoolRNN's pool-wide cache to bulk consumers.
+func (m *Mapped) poolRNN(id uint32) []int {
+	ms := m.view.PoolMembers(id)
+	out := make([]int, len(ms))
+	for i, v := range ms {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// rnnRef carries a query hit's RNN set without materializing it: exactly
+// one of members (raw mapped i32 list, pool hits) and exact (heap ints,
+// exact-path and empty-face hits) is non-nil. Callbacks that ignore the set
+// (HeatBatch) never touch either.
+type rnnRef struct {
+	members []int32
+	exact   []int
+}
+
+// QueryBatch answers one Query per point in input order with caller-owned
+// RNN copies; same monotone slab walk as Index.QueryBatch.
+func (m *Mapped) QueryBatch(ps []geom.Point) ([]float64, [][]int) {
+	heats := make([]float64, len(ps))
+	rnns := make([][]int, len(ps))
+	arena := make([]int, 0, 4096)
+	m.queryMany(ps, func(k int, heat float64, r rnnRef) {
+		heats[k] = heat
+		n := len(r.members) + len(r.exact)
+		if n > cap(arena)-len(arena) {
+			arena = make([]int, 0, max(4096, n))
+		}
+		start := len(arena)
+		for _, v := range r.members {
+			arena = append(arena, int(v))
+		}
+		arena = append(arena, r.exact...)
+		rnns[k] = arena[start:len(arena):len(arena)]
+	})
+	return heats, rnns
+}
+
+// HeatBatch fills out[k] with the heat at ps[k]. This is the tile
+// rasterization hot path and touches only the mapped arrays and the pool
+// heat section — no RNN materialization, no decode.
+func (m *Mapped) HeatBatch(ps []geom.Point, out []float64) {
+	m.queryMany(ps, func(k int, heat float64, _ rnnRef) { out[k] = heat })
+}
+
+// queryMany is the batch driver; it mirrors Index.queryMany exactly (NaN
+// handling, sort, gallop walk) with gap hits resolved through the pool.
+func (m *Mapped) queryMany(ps []geom.Point, emit func(k int, heat float64, rnn rnnRef)) {
+	keys := make([]batchKey, 0, len(ps))
+	for k, p := range ps {
+		q := m.toSweep(p)
+		if math.IsNaN(q.X) {
+			emit(k, m.emptyHeat, rnnRef{exact: m.emptyRNN})
+			continue
+		}
+		keys = append(keys, batchKey{x: q.X, y: q.Y, k: int32(k)})
+	}
+	slices.SortFunc(keys, func(a, b batchKey) int {
+		switch {
+		case a.x < b.x:
+			return -1
+		case a.x > b.x:
+			return 1
+		default:
+			return 0
+		}
+	})
+	i := 0
+	for _, key := range keys {
+		k := int(key.k)
+		q := geom.Pt(key.x, key.y)
+		i = gallopGE(m.slab.Xs, i, q.X)
+		si, direct := m.slabAt(q.X, i)
+		if !direct {
+			h, rnn := m.exact(ps[k], q.X)
+			emit(k, h, rnnRef{exact: rnn})
+			continue
+		}
+		if si < 0 {
+			emit(k, m.emptyHeat, rnnRef{exact: m.emptyRNN})
+			continue
+		}
+		if gid, ok := m.lookup(si, q); ok {
+			emit(k, m.view.PoolHeat(gid), rnnRef{members: m.view.PoolMembers(gid)})
+		} else {
+			h, rnn := m.exact(ps[k], q.X)
+			emit(k, h, rnnRef{exact: rnn})
+		}
+	}
+}
+
+func (m *Mapped) locateSlab(x float64) (i int, direct bool) {
+	return m.slabAt(x, sort.SearchFloat64s(m.slab.Xs, x))
+}
+
+// slabAt mirrors Index.slabAt over the mapped boundary array.
+func (m *Mapped) slabAt(x float64, pos int) (i int, direct bool) {
+	xs := m.slab.Xs
+	ex := m.eps(x)
+	if m.nearZeroX(x, ex) {
+		return 0, false
+	}
+	if len(xs) == 0 {
+		return -1, true
+	}
+	if pos < len(xs) && xs[pos]-x <= ex {
+		return 0, false
+	}
+	if pos > 0 && x-xs[pos-1] <= ex {
+		return 0, false
+	}
+	if pos == 0 || pos == len(xs) {
+		return -1, true
+	}
+	return pos - 1, true
+}
+
+func (m *Mapped) nearZeroX(x float64, ex float64) bool {
+	zeroXs := m.slab.ZeroXs
+	if len(zeroXs) == 0 {
+		return false
+	}
+	j := sort.SearchFloat64s(zeroXs, x)
+	if j < len(zeroXs) && zeroXs[j]-x <= ex {
+		return true
+	}
+	return j > 0 && x-zeroXs[j-1] <= ex
+}
+
+// lookup resolves the gap containing q inside slab si, returning its pool id
+// (ok=false within eps of a gap edge, exact path required). Mirrors
+// slab.lookup: a slab's gap pool-ids start at EdgeOff[si]+si — every slab
+// owns one more gap than edges.
+func (m *Mapped) lookup(si int, q geom.Point) (uint32, bool) {
+	s := m.slab
+	lo, hi := int(s.EdgeOff[si]), int(s.EdgeOff[si+1])
+	edges := s.Edges[lo:hi]
+	gapBase := lo + si
+	ey := m.eps(q.Y)
+	if m.metric != geom.L2 {
+		j := sort.SearchFloat64s(edges, q.Y)
+		if j < len(edges) && edges[j]-q.Y <= ey {
+			return 0, false
+		}
+		if j > 0 && q.Y-edges[j-1] <= ey {
+			return 0, false
+		}
+		return s.Gaps[gapBase+j], true
+	}
+	arcs := s.Arcs[lo:hi]
+	j := sort.Search(len(arcs), func(k int) bool {
+		return m.arcYAt(arcs[k], q.X) >= q.Y
+	})
+	if j < len(arcs) && m.arcYAt(arcs[j], q.X)-q.Y <= ey {
+		return 0, false
+	}
+	if j > 0 && q.Y-m.arcYAt(arcs[j-1], q.X) <= ey {
+		return 0, false
+	}
+	return s.Gaps[gapBase+j], true
+}
+
+// arcYAt evaluates an encoded arc's boundary height at sweep-space x
+// (bit-identical to Index.arcYAt; arcs exist only for L2, where sweep space
+// is the original space, so the circle-geometry section is directly usable).
+func (m *Mapped) arcYAt(a uint32, x float64) float64 {
+	geo := m.view.CircleGeo()
+	ci := int(a >> 1)
+	cx, cy, r := geo[3*ci], geo[3*ci+1], geo[3*ci+2]
+	dx := x - cx
+	h := math.Sqrt(math.Max(0, r*r-dx*dx))
+	if a&1 != 0 {
+		return cy + h
+	}
+	return cy - h
+}
+
+// exact mirrors Index.exact: gather candidate circles from the slabs within
+// eps of sweep x plus nearby zero-radius circles, test closed containment in
+// the original space, and fold the matches into the measure in ascending
+// client order so the result is bit-identical to the enclosure path.
+func (m *Mapped) exact(p geom.Point, sx float64) (float64, []int) {
+	s := m.slab
+	ex := m.eps(sx)
+	lo, hi := sx-ex, sx+ex
+	var cand []int32
+	i := sort.SearchFloat64s(s.Xs, lo)
+	if i > 0 {
+		i-- // the slab opening before lo may span into the window
+	}
+	for ; i < len(s.Xs) && s.Xs[i] <= hi; i++ {
+		cand = append(cand, s.Actives[s.ActOff[i]:s.ActOff[i+1]]...)
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+	matched := []int{}
+	var prev int32 = -1
+	for _, ci := range cand {
+		if ci == prev {
+			continue
+		}
+		prev = ci
+		nc := m.view.CircleAt(int(ci))
+		if nc.Circle.Contains(p) {
+			matched = append(matched, nc.Client)
+		}
+	}
+	if len(s.ZeroXs) > 0 {
+		j := sort.SearchFloat64s(s.ZeroXs, lo)
+		for ; j < len(s.ZeroXs) && s.ZeroXs[j] <= hi; j++ {
+			nc := m.view.CircleAt(int(s.ZeroIdx[j]))
+			if nc.Circle.Contains(p) {
+				matched = append(matched, nc.Client)
+			}
+		}
+	}
+	sort.Ints(matched)
+	return m.measure.Influence(oset.FromSorted(matched)), matched
+}

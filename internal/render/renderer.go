@@ -22,22 +22,39 @@ type Renderer struct {
 	index   enclosure.Index
 	measure influence.Measure
 	bounds  geom.Rect
-	pl      *pointloc.Index
+	pl      pointloc.Locator
 	calls   atomic.Int64
 }
 
-// UsePointLoc attaches a slab point-location index over the same circles and
-// measure. Rasterization then resolves each pixel row with one monotone walk
-// over the slab decomposition (precomputed face heats, no per-pixel
-// enclosure query or RNN-set construction) instead of a stabbing query per
-// pixel; the output is byte-identical either way, as the index implements
-// the same closed boundary convention as the enclosure path. Call it before
-// the first Render (heatmap.Map does, under its renderer-construction
-// once). A nil index is ignored.
-func (rd *Renderer) UsePointLoc(ix *pointloc.Index) {
-	if ix != nil {
-		rd.pl = ix
+// UsePointLoc attaches a slab point-location locator over the same circles
+// and measure — the heap index or an mmap-backed snapshot view.
+// Rasterization then resolves each pixel row with one monotone walk over the
+// slab decomposition (precomputed face heats, no per-pixel enclosure query
+// or RNN-set construction) instead of a stabbing query per pixel; the output
+// is byte-identical either way, as both locators implement the same closed
+// boundary convention as the enclosure path. Call it before the first Render
+// (heatmap.Map does, under its renderer-construction once). A nil locator is
+// ignored.
+func (rd *Renderer) UsePointLoc(loc pointloc.Locator) {
+	if loc != nil {
+		rd.pl = loc
 	}
+}
+
+// NewLocatorRenderer builds a Renderer that rasterizes exclusively through a
+// point-location locator — no circles, no enclosure index. This is the
+// mmap cold-start path: a format-v2 snapshot supplies the locator and the
+// map bounds, and the renderer serves tiles without materializing a single
+// heap object from the file. Render never touches the enclosure fallback
+// when a locator is set, so the missing circle slice is unreachable.
+func NewLocatorRenderer(loc pointloc.Locator, bounds geom.Rect, measure influence.Measure) (*Renderer, error) {
+	if loc == nil {
+		return nil, errors.New("render: nil locator")
+	}
+	if measure == nil {
+		measure = influence.Size()
+	}
+	return &Renderer{measure: measure, bounds: bounds, pl: loc}, nil
 }
 
 // NewRenderer builds a Renderer over the NN-circles. index may be nil, in

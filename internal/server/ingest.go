@@ -71,10 +71,15 @@ type mutationsResponse struct {
 	CommitMS       float64 `json:"commit_ms"`
 }
 
-// batchResult is the writer's reply to one admitted batch.
+// batchResult is the writer's reply to one admitted batch. Failures carry
+// the machine code and message rather than a rendered body, because only the
+// handler knows whether its client came through /v1 (structured envelope) or
+// a legacy path (historical error shape).
 type batchResult struct {
-	code int
-	body any
+	code    int
+	errCode string
+	errMsg  string
+	body    any
 }
 
 // pendingBatch is one admitted POST /mutations request waiting in a map's
@@ -86,8 +91,8 @@ type pendingBatch struct {
 	done     chan batchResult
 }
 
-func (pb *pendingBatch) fail(code int, format string, args ...any) {
-	pb.done <- batchResult{code: code, body: map[string]string{"error": fmt.Sprintf(format, args...)}}
+func (pb *pendingBatch) fail(code int, errCode, format string, args ...any) {
+	pb.done <- batchResult{code: code, errCode: errCode, errMsg: fmt.Sprintf(format, args...)}
 }
 
 // ingester is a map's coalescing writer: a bounded admission queue drained by
@@ -174,7 +179,7 @@ func (g *ingester) drain() {
 	for {
 		select {
 		case pb := <-g.queue:
-			pb.fail(http.StatusServiceUnavailable, "map %q is shutting down", g.inst.name)
+			pb.fail(http.StatusServiceUnavailable, codeUnavailable, "map %q is shutting down", g.inst.name)
 		default:
 			return
 		}
@@ -279,7 +284,7 @@ func (g *ingester) commit(group []*pendingBatch) {
 	if s.lookup(inst.name) != inst {
 		inst.writeMu.Unlock()
 		for _, pb := range group {
-			pb.fail(http.StatusNotFound, "no map named %q", inst.name)
+			pb.fail(http.StatusNotFound, codeNotFound, "no map named %q", inst.name)
 		}
 		return
 	}
@@ -289,7 +294,7 @@ func (g *ingester) commit(group []*pendingBatch) {
 	var merged []heatmap.Delta
 	for _, pb := range group {
 		if err := validateOps(pb.deltas, &nC, &nF); err != nil {
-			pb.fail(http.StatusBadRequest, "%v", err)
+			pb.fail(http.StatusBadRequest, codeInvalidArgument, "%v", err)
 			continue
 		}
 		accepted = append(accepted, pb)
@@ -303,7 +308,7 @@ func (g *ingester) commit(group []*pendingBatch) {
 	if err != nil {
 		inst.writeMu.Unlock()
 		for _, pb := range accepted {
-			pb.fail(http.StatusInternalServerError, "applying batch: %v", err)
+			pb.fail(http.StatusInternalServerError, codeInternal, "applying batch: %v", err)
 		}
 		return
 	}
@@ -311,7 +316,7 @@ func (g *ingester) commit(group []*pendingBatch) {
 	if err != nil {
 		inst.writeMu.Unlock()
 		for _, pb := range accepted {
-			pb.fail(http.StatusInternalServerError, "building map state: %v", err)
+			pb.fail(http.StatusInternalServerError, codeInternal, "building map state: %v", err)
 		}
 		return
 	}
@@ -329,7 +334,7 @@ func (g *ingester) commit(group []*pendingBatch) {
 		if err := inst.wal.AppendBatch(recs); err != nil {
 			inst.writeMu.Unlock()
 			for _, pb := range accepted {
-				pb.fail(http.StatusServiceUnavailable, "logging batch: %v", err)
+				pb.fail(http.StatusServiceUnavailable, codeUnavailable, "logging batch: %v", err)
 			}
 			return
 		}
@@ -408,11 +413,11 @@ func (s *Server) ingestStatsOf(inst *mapInstance) ingestStats {
 // of it is.
 func (s *Server) handleMutations(inst *mapInstance, w http.ResponseWriter, r *http.Request) {
 	if !s.mutable {
-		writeError(w, http.StatusForbidden, "server is read-only; start heatmapd with -mutable to enable the mutation API")
+		writeErrorCode(w, http.StatusForbidden, codeReadOnly, "server is read-only; start heatmapd with -mutable to enable the mutation API")
 		return
 	}
 	if err := inst.state().m.DeltaSupported(); err != nil {
-		writeError(w, http.StatusConflict, "map %q cannot be mutated: %v", inst.name, err)
+		writeErrorCode(w, http.StatusConflict, codeImmutableMap, "map %q cannot be mutated: %v", inst.name, err)
 		return
 	}
 	var req mutationsRequest
@@ -475,9 +480,13 @@ func (s *Server) handleMutations(inst *mapInstance, w http.ResponseWriter, r *ht
 			retry = 1
 		}
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
-		writeError(w, http.StatusTooManyRequests, "ingestion queue for map %q is full (%d pending batches); retry later", inst.name, cap(g.queue))
+		writeErrorCode(w, http.StatusTooManyRequests, codeQueueFull, "ingestion queue for map %q is full (%d pending batches); retry later", inst.name, cap(g.queue))
 		return
 	}
 	res := <-pb.done
+	if res.errMsg != "" {
+		writeErrorCode(w, res.code, res.errCode, "%s", res.errMsg)
+		return
+	}
 	writeJSON(w, res.code, res.body)
 }

@@ -89,14 +89,14 @@ func toPoints(ps []pointJSON) []heatmap.Point {
 // (points for POST, indexes for DELETE).
 func (s *Server) mutate(inst *mapInstance, w http.ResponseWriter, r *http.Request, wantPoints bool, toDelta func(*mutateRequest) heatmap.Delta) {
 	if !s.mutable {
-		writeError(w, http.StatusForbidden, "server is read-only; start heatmapd with -mutable to enable the mutation API")
+		writeErrorCode(w, http.StatusForbidden, codeReadOnly, "server is read-only; start heatmapd with -mutable to enable the mutation API")
 		return
 	}
 	// A map can be individually immutable — e.g. a capacity-measure map
 	// restored from a snapshot into a mutable server. Refuse up front with
 	// the reason instead of surfacing ApplyDelta's rejection as a 500.
 	if err := inst.state().m.DeltaSupported(); err != nil {
-		writeError(w, http.StatusConflict, "map %q cannot be mutated: %v", inst.name, err)
+		writeErrorCode(w, http.StatusConflict, codeImmutableMap, "map %q cannot be mutated: %v", inst.name, err)
 		return
 	}
 	var req mutateRequest

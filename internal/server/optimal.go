@@ -158,7 +158,7 @@ func (s *Server) handleOptimal(inst *mapInstance, w http.ResponseWriter, r *http
 	regs, err := st.m.OptimalTopK(k, cons)
 	switch {
 	case errors.Is(err, heatmap.ErrNoRegions):
-		writeError(w, http.StatusConflict, "map %q has no labeled regions to optimize over", inst.name)
+		writeErrorCode(w, http.StatusConflict, codeNoRegions, "map %q has no labeled regions to optimize over", inst.name)
 		return
 	case errors.Is(err, heatmap.ErrNeedGeometry):
 		writeError(w, http.StatusConflict, "map %q: %v", inst.name, err)
@@ -217,20 +217,20 @@ func (s *Server) handleOptimize(inst *mapInstance, w http.ResponseWriter, r *htt
 		commit = v
 	}
 	if commit && !s.mutable {
-		writeError(w, http.StatusForbidden, "server is read-only; start heatmapd with -mutable to commit placements (or drop commit=true for a dry run)")
+		writeErrorCode(w, http.StatusForbidden, codeReadOnly, "server is read-only; start heatmapd with -mutable to commit placements (or drop commit=true for a dry run)")
 		return
 	}
 	// What-if exploration needs the delta path even when nothing is
 	// published, so the check applies to dry runs too.
 	if err := inst.state().m.DeltaSupported(); err != nil {
-		writeError(w, http.StatusConflict, "map %q cannot run the optimizer: %v", inst.name, err)
+		writeErrorCode(w, http.StatusConflict, codeImmutableMap, "map %q cannot run the optimizer: %v", inst.name, err)
 		return
 	}
 	// GreedyPlace treats an empty arrangement as "nothing to place" and
 	// returns zero steps; at the HTTP surface that is a conflict, not a
 	// successful empty optimization.
 	if inst.state().m.NumRegions() == 0 {
-		writeError(w, http.StatusConflict, "map %q has no labeled regions to optimize over", inst.name)
+		writeErrorCode(w, http.StatusConflict, codeNoRegions, "map %q has no labeled regions to optimize over", inst.name)
 		return
 	}
 
@@ -311,7 +311,7 @@ func (s *Server) optimizeCommit(inst *mapInstance, w http.ResponseWriter, k int,
 func (s *Server) writeOptimizeError(inst *mapInstance, w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, heatmap.ErrNoRegions):
-		writeError(w, http.StatusConflict, "map %q has no labeled regions to optimize over", inst.name)
+		writeErrorCode(w, http.StatusConflict, codeNoRegions, "map %q has no labeled regions to optimize over", inst.name)
 	case errors.Is(err, heatmap.ErrNeedGeometry):
 		writeError(w, http.StatusConflict, "map %q: %v", inst.name, err)
 	default:

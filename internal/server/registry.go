@@ -40,6 +40,9 @@ type mapInstance struct {
 	// dirty is set when the in-memory map has state (mutations, or a fresh
 	// build) not yet folded into the on-disk snapshot.
 	dirty atomic.Bool
+	// snapFormat is the format of the map's last loaded or saved snapshot
+	// (heatmap.SnapshotV1 or SnapshotV2 as an int32; 0 = never persisted).
+	snapFormat atomic.Int32
 	// Optimal-location counters, surfaced in /stats: GET /optimal queries,
 	// POST /optimize runs (dry or committed), and facilities placed by them.
 	optimalQueries atomic.Int64
@@ -49,6 +52,19 @@ type mapInstance struct {
 
 // state returns the instance's current map snapshot.
 func (inst *mapInstance) state() *mapState { return inst.cur.Load() }
+
+// snapshotFormat names the instance's on-disk snapshot format for /stats:
+// "v1", "v2", or "" when the map has never been loaded from or saved to disk.
+func (inst *mapInstance) snapshotFormat() string {
+	switch heatmap.SnapshotFormat(inst.snapFormat.Load()) {
+	case heatmap.SnapshotV1:
+		return "v1"
+	case heatmap.SnapshotV2:
+		return "v2"
+	default:
+		return ""
+	}
+}
 
 // mapNameRE validates tenant names: they appear in URLs and file names, so
 // they are restricted to a safe alphabet.
@@ -246,9 +262,16 @@ func (s *Server) loadMaps() error {
 		if !mapNameRE.MatchString(name) {
 			return fmt.Errorf("server: snapshot file %q does not name a valid map", e.Name())
 		}
-		m, version, err := heatmap.LoadSnapshot(snapshot.MapPath(s.snapshotDir, name))
+		// OpenSnapshot serves format-v2 files off an mmap view (queries,
+		// tiles and metadata with no decode step) and falls back to the heap
+		// decode for format-v1 files.
+		m, version, err := heatmap.OpenSnapshot(snapshot.MapPath(s.snapshotDir, name))
 		if err != nil {
 			return fmt.Errorf("server: loading map %q: %w", name, err)
+		}
+		loadedFormat := heatmap.SnapshotV2
+		if m.Residency() == "heap" {
+			loadedFormat = heatmap.SnapshotV1
 		}
 		m, version, replayed, wal, err := s.replayWAL(name, m, version)
 		if err != nil {
@@ -258,6 +281,7 @@ func (s *Server) loadMaps() error {
 		if err != nil {
 			return fmt.Errorf("server: registering loaded map %q: %w", name, err)
 		}
+		inst.snapFormat.Store(int32(loadedFormat))
 		if replayed > 0 {
 			// The snapshot on disk lags the replayed state; mark dirty so the
 			// next save compacts snapshot+WAL.
@@ -327,13 +351,10 @@ func (s *Server) replayWAL(name string, m *heatmap.Map, version uint64) (*heatma
 // only owner (registration).
 func (s *Server) saveInstanceLocked(inst *mapInstance) error {
 	st := inst.state()
-	snap, err := st.m.Snapshot(st.version)
-	if err != nil {
+	if err := st.m.SaveSnapshotFormat(snapshot.MapPath(s.snapshotDir, inst.name), st.version, s.snapFormat); err != nil {
 		return err
 	}
-	if err := snap.WriteFile(snapshot.MapPath(s.snapshotDir, inst.name)); err != nil {
-		return err
-	}
+	inst.snapFormat.Store(int32(s.snapFormat))
 	if inst.wal != nil {
 		if err := inst.wal.Reset(); err != nil {
 			return err
@@ -482,9 +503,9 @@ func (s *Server) handleCreateMap(w http.ResponseWriter, r *http.Request) {
 	if err := s.reserveName(req.Name); err != nil {
 		switch {
 		case errors.Is(err, errMapExists):
-			writeError(w, http.StatusConflict, "map %q already exists or is being created", req.Name)
+			writeErrorCode(w, http.StatusConflict, codeMapExists, "map %q already exists or is being created", req.Name)
 		default:
-			writeError(w, http.StatusTooManyRequests, "%v", err)
+			writeErrorCode(w, http.StatusTooManyRequests, codeRegistryFull, "%v", err)
 		}
 		return
 	}
@@ -502,10 +523,10 @@ func (s *Server) handleCreateMap(w http.ResponseWriter, r *http.Request) {
 	inst, err := s.register(req.Name, m, 1, false, nil)
 	switch {
 	case errors.Is(err, errMapExists):
-		writeError(w, http.StatusConflict, "map %q already exists", req.Name)
+		writeErrorCode(w, http.StatusConflict, codeMapExists, "map %q already exists", req.Name)
 		return
 	case errors.Is(err, errRegistryFull):
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeErrorCode(w, http.StatusTooManyRequests, codeRegistryFull, "%v", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "registering map: %v", err)

@@ -116,6 +116,11 @@ type Config struct {
 	// Load restores every map found in SnapshotDir at startup, replaying
 	// each map's WAL on top of its snapshot. Requires SnapshotDir.
 	Load bool
+	// SnapshotFormat selects the on-disk layout for saved maps; the zero
+	// value means the default (format v2, the mmap-able layout). Set
+	// heatmap.SnapshotV1 as a rollback escape hatch for binaries that
+	// predate format v2. Loading accepts both formats regardless.
+	SnapshotFormat heatmap.SnapshotFormat
 }
 
 // mapState is one immutable snapshot of a served map and everything derived
@@ -163,6 +168,7 @@ type Server struct {
 	maxMaps       int
 	maxMapPoints  int
 	snapshotDir   string
+	snapFormat    heatmap.SnapshotFormat
 
 	coalesceWindow time.Duration
 	coalesceOps    int
@@ -175,8 +181,11 @@ type Server struct {
 	// Build, and the registry cap bounds in-flight builds too.
 	creating map[string]struct{}
 
-	mux     *http.ServeMux
-	started time.Time
+	mux *http.ServeMux
+	// routeList records every registered (method, unversioned path) pair;
+	// each also exists under /v1. The OpenAPI contract test walks it.
+	routeList [][2]string
+	started   time.Time
 }
 
 // New builds a Server for the given configuration.
@@ -217,6 +226,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Load && cfg.SnapshotDir == "" {
 		return nil, errors.New("server: Config.Load requires Config.SnapshotDir")
 	}
+	switch cfg.SnapshotFormat {
+	case 0, heatmap.SnapshotV1, heatmap.SnapshotV2:
+	default:
+		return nil, fmt.Errorf("server: unknown snapshot format %d", cfg.SnapshotFormat)
+	}
+	if cfg.SnapshotFormat == 0 {
+		cfg.SnapshotFormat = heatmap.SnapshotV2
+	}
 	s := &Server{
 		mutable:       cfg.Mutable,
 		tileSize:      cfg.TileSize,
@@ -227,6 +244,7 @@ func New(cfg Config) (*Server, error) {
 		maxMaps:       cfg.MaxMaps,
 		maxMapPoints:  cfg.MaxMapPoints,
 		snapshotDir:   cfg.SnapshotDir,
+		snapFormat:    cfg.SnapshotFormat,
 
 		coalesceWindow: cfg.CoalesceWindow,
 		coalesceOps:    cfg.CoalesceOps,
@@ -263,15 +281,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// APIVersion is the current versioned-prefix of the HTTP API. Every endpoint
+// is mounted both at its historical path (legacy alias, byte-identical
+// responses) and under this prefix, where errors use the structured envelope.
+const APIVersion = "v1"
+
 // routes registers every endpoint in both its tenant form and its legacy
-// default-map alias.
+// default-map alias, each additionally mounted under /v1.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /maps", s.handleListMaps)
-	s.mux.HandleFunc("POST /maps", s.handleCreateMap)
-	s.mux.HandleFunc("GET /maps/{map}", s.named(s.handleGetMap))
-	s.mux.HandleFunc("DELETE /maps/{map}", s.named(s.handleDeleteMap))
-	s.mux.HandleFunc("POST /maps/{map}/snapshot", s.named(s.handleSaveMap))
+	s.add("GET", "/healthz", s.handleHealthz)
+	s.add("GET", "/maps", s.handleListMaps)
+	s.add("POST", "/maps", s.handleCreateMap)
+	s.add("GET", "/maps/{map}", s.named(s.handleGetMap))
+	s.add("DELETE", "/maps/{map}", s.named(s.handleDeleteMap))
+	s.add("POST", "/maps/{map}/snapshot", s.named(s.handleSaveMap))
 	for pattern, h := range map[string]func(*mapInstance, http.ResponseWriter, *http.Request){
 		"GET /stats":             s.handleStats,
 		"GET /heat":              s.handleHeat,
@@ -289,9 +312,43 @@ func (s *Server) routes() {
 		"DELETE /facilities":     s.handleRemoveFacilities,
 	} {
 		method, path, _ := strings.Cut(pattern, " ")
-		s.mux.HandleFunc(pattern, s.onDefault(h))
-		s.mux.HandleFunc(method+" /maps/{map}"+path, s.named(h))
+		s.add(method, path, s.onDefault(h))
+		s.add(method, "/maps/{map}"+path, s.named(h))
 	}
+}
+
+// add registers one endpoint twice: at its legacy path, and under /v1 with
+// the response writer wrapped so error responses use the structured envelope.
+// Success bodies are identical on both mounts; only the error shape differs,
+// which is what lets legacy clients keep parsing {"error": "..."} unchanged.
+func (s *Server) add(method, path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" "+path, h)
+	s.mux.HandleFunc(method+" /"+APIVersion+path, func(w http.ResponseWriter, r *http.Request) {
+		h(&v1Writer{ResponseWriter: w}, r)
+	})
+	s.routeList = append(s.routeList, [2]string{method, path})
+}
+
+// Routes returns every registered (method, unversioned path) pair; each is
+// also mounted under /v1. The OpenAPI contract test compares this table
+// against docs/openapi.yaml in both directions.
+func (s *Server) Routes() [][2]string {
+	out := make([][2]string, len(s.routeList))
+	copy(out, s.routeList)
+	return out
+}
+
+// v1Writer marks a request as arriving through the /v1 mount; writeError
+// checks for it to select the structured error envelope. It adds no behavior
+// of its own — headers, status and body pass straight through.
+type v1Writer struct {
+	http.ResponseWriter
+}
+
+// isV1 reports whether the response goes to a /v1 client.
+func isV1(w http.ResponseWriter) bool {
+	_, ok := w.(*v1Writer)
+	return ok
 }
 
 // onDefault adapts a per-map handler to the legacy un-prefixed route.
@@ -362,8 +419,67 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// Machine-readable error codes of the /v1 error envelope. Every /v1 error
+// response has the shape {"error": {"code": "<code>", "message": "..."}};
+// the code is stable API surface (documented in docs/openapi.yaml), the
+// message is free-form prose that may change between releases.
+const (
+	codeInvalidArgument   = "invalid_argument"
+	codeForbidden         = "forbidden"
+	codeReadOnly          = "read_only"
+	codeNotFound          = "not_found"
+	codeConflict          = "conflict"
+	codeMapExists         = "map_exists"
+	codeImmutableMap      = "immutable_map"
+	codeNoRegions         = "no_regions"
+	codeResourceExhausted = "resource_exhausted"
+	codeRegistryFull      = "registry_full"
+	codeQueueFull         = "queue_full"
+	codeInternal          = "internal"
+	codeUnavailable       = "unavailable"
+)
+
+// errorCodeFor maps an HTTP status to its default envelope code; handlers
+// with a more specific cause use writeErrorCode directly.
+func errorCodeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return codeInvalidArgument
+	case http.StatusForbidden:
+		return codeForbidden
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusConflict:
+		return codeConflict
+	case http.StatusTooManyRequests:
+		return codeResourceExhausted
+	case http.StatusServiceUnavailable:
+		return codeUnavailable
+	default:
+		return codeInternal
+	}
+}
+
+// errorEnvelope is the /v1 error body.
+type errorEnvelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeErrorCode(w, code, errorCodeFor(code), format, args...)
+}
+
+// writeErrorCode writes an error response: on the /v1 mount the structured
+// envelope with the given machine code, on legacy paths the historical
+// {"error": "<message>"} shape, byte-identical to what pre-/v1 clients parse.
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if isV1(w) {
+		writeJSON(w, status, map[string]errorEnvelope{"error": {Code: code, Message: msg}})
+		return
+	}
+	writeJSON(w, status, map[string]string{"error": msg})
 }
 
 // parseFloat parses a finite float query parameter.
@@ -391,11 +507,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /stats payload.
 type statsResponse struct {
-	Name          string      `json:"name"`
-	Measure       string      `json:"measure"`
-	Version       uint64      `json:"version"`
-	Mutable       bool        `json:"mutable"`
-	Persisted     bool        `json:"persisted"`
+	Name    string `json:"name"`
+	Measure string `json:"measure"`
+	Version uint64 `json:"version"`
+	// APIVersion is the current versioned API prefix ("v1").
+	APIVersion string `json:"api_version"`
+	Mutable    bool   `json:"mutable"`
+	Persisted  bool   `json:"persisted"`
+	// SnapshotFormat is the on-disk layout of the map's last loaded or saved
+	// snapshot ("v1" or "v2"); empty when the map has never touched disk.
+	SnapshotFormat string `json:"snapshot_format,omitempty"`
+	// Residency reports where the map's data lives: "heap", "mapped" (served
+	// zero-copy off a format-v2 snapshot) or "mapped+heap" (mapped, with heap
+	// structures materialized by region enumeration or a mutation).
+	Residency     string      `json:"residency"`
 	Clients       int         `json:"clients"`
 	Facilities    int         `json:"facilities"`
 	Regions       int         `json:"regions"`
@@ -494,17 +619,20 @@ func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.R
 	sum := st.summary
 	hits, misses, waited := inst.cache.stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Name:          inst.name,
-		Measure:       st.m.MeasureName(),
-		Version:       st.version,
-		Mutable:       s.mutable,
-		Persisted:     s.snapshotDir != "",
-		Clients:       st.m.NumClients(),
-		Facilities:    st.m.NumFacilities(),
-		Regions:       st.m.NumRegions(),
-		MaxHeat:       maxHeat,
-		Bounds:        toRectJSON(st.rd.Bounds()),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Name:           inst.name,
+		Measure:        st.m.MeasureName(),
+		Version:        st.version,
+		APIVersion:     APIVersion,
+		Mutable:        s.mutable,
+		Persisted:      s.snapshotDir != "",
+		SnapshotFormat: inst.snapshotFormat(),
+		Residency:      st.m.Residency(),
+		Clients:        st.m.NumClients(),
+		Facilities:     st.m.NumFacilities(),
+		Regions:        st.m.NumRegions(),
+		MaxHeat:        maxHeat,
+		Bounds:         toRectJSON(st.rd.Bounds()),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Build: buildStats{
 			Circles:        cs.Circles,
 			Events:         cs.Events,

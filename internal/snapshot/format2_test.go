@@ -1,0 +1,199 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestV2RoundTrip: encoding the sample in format v2 and decoding it (heap
+// path) reproduces the exact snapshot, including empty-but-non-nil RNN
+// slices and the capacity measure context.
+func TestV2RoundTrip(t *testing.T) {
+	t.Parallel()
+	want := sample()
+	var buf bytes.Buffer
+	if err := want.EncodeV2(&buf, nil); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode of v2 stream: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("v2 round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestV2FileRoundTrip: WriteFileV2 + ReadFile and WriteFileV2 + Open +
+// Snapshot both reproduce the original, and the mapped view's meta matches
+// the snapshot's derived quantities.
+func TestV2FileRoundTrip(t *testing.T) {
+	t.Parallel()
+	want := sample()
+	path := filepath.Join(t.TempDir(), "map.snap")
+	if err := want.WriteFileV2(path, nil); err != nil {
+		t.Fatalf("WriteFileV2: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadFile(v2) mismatch")
+	}
+
+	v, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer v.Close()
+	m := v.Meta()
+	if m.MapVersion != want.MapVersion || m.Metric != want.Metric ||
+		m.Algorithm != want.Algorithm || m.Workers != want.Workers {
+		t.Errorf("Meta mismatch: %+v", m)
+	}
+	if m.NumClients != len(want.Clients) || m.NumCircles != len(want.Circles) ||
+		m.NumLabels != len(want.Labels) {
+		t.Errorf("Meta counts mismatch: %+v", m)
+	}
+	if m.Summary.Count != len(want.Labels) || m.Summary.MaxHeat != 2 {
+		t.Errorf("Meta summary mismatch: %+v", m.Summary)
+	}
+	if m.HasSlabIndex || v.HasSlabIndex() {
+		t.Error("sample written without tables claims a slab index")
+	}
+	got2 := v.Snapshot()
+	if !reflect.DeepEqual(got2, want) {
+		t.Errorf("View.Snapshot mismatch")
+	}
+	for i := range want.Circles {
+		if v.CircleAt(i) != want.Circles[i] {
+			t.Errorf("CircleAt(%d) = %+v, want %+v", i, v.CircleAt(i), want.Circles[i])
+		}
+	}
+}
+
+// TestV2PoolDedup: two labels with the same RNN set share one pool record,
+// and distinct sets get distinct records.
+func TestV2PoolDedup(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	s.Labels = append(s.Labels, s.Labels[0]) // duplicate content
+	var buf bytes.Buffer
+	if err := s.EncodeV2(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := newView(buf.Bytes(), false)
+	if err != nil {
+		t.Fatalf("newView: %v", err)
+	}
+	if v.meta.NumPool != 2 {
+		t.Errorf("pool has %d records, want 2 (dedup)", v.meta.NumPool)
+	}
+	got := v.Snapshot()
+	if !reflect.DeepEqual(got.Labels, s.Labels) {
+		t.Errorf("labels mismatch after dedup")
+	}
+	// Shared pool record means shared backing array.
+	if &got.Labels[0].RNN[0] != &got.Labels[2].RNN[0] {
+		t.Errorf("duplicate labels do not share the pool slice")
+	}
+}
+
+// TestV2RejectsCorruption: a flipped byte anywhere in the file is caught at
+// Open — in the header by the table checksum, in a payload by that
+// section's checksum.
+func TestV2RejectsCorruption(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := sample().EncodeV2(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+	// Offsets chosen to land in protected regions: the section table, the
+	// first payload (right after the padded header) and the last payload
+	// byte. Inter-section padding is the only unprotected region.
+	nSec := int(binary.LittleEndian.Uint16(good[6:8]))
+	base := (8 + nSec*tableEntrySize + 4 + 7) &^ 7
+	for _, off := range []int{9, 20, base + 2, len(good) - 1} {
+		b := append([]byte(nil), good...)
+		b[off] ^= 0xff
+		path := filepath.Join(dir, "corrupt.snap")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Errorf("Open accepted a file with byte %d flipped", off)
+		}
+		if _, err := ReadFile(path); err == nil {
+			t.Errorf("ReadFile accepted a file with byte %d flipped", off)
+		}
+	}
+	// Truncation anywhere is also an error.
+	for _, n := range []int{7, 40, len(good) - 3} {
+		path := filepath.Join(dir, "trunc.snap")
+		if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Errorf("Open accepted a file truncated to %d bytes", n)
+		}
+	}
+}
+
+// TestOpenV1FallsBack: Open on a v1 file reports ErrFormatV1 so callers can
+// route to the decode path.
+func TestOpenV1FallsBack(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "v1.snap")
+	if err := sample().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if !errors.Is(err, ErrFormatV1) {
+		t.Errorf("Open(v1 file) = %v, want ErrFormatV1", err)
+	}
+	// And the decode path still reads it.
+	if _, err := ReadFile(path); err != nil {
+		t.Errorf("ReadFile(v1 file): %v", err)
+	}
+}
+
+// TestWriteFileFormat routes to the requested format.
+func TestWriteFileFormat(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s := sample()
+	for _, tc := range []struct {
+		format Format
+		want   uint16
+	}{{FormatV1, Version}, {FormatV2, Version2}, {0, Version2}} {
+		path := filepath.Join(dir, "f.snap")
+		if err := s.WriteFileFormat(path, tc.format, nil); err != nil {
+			t.Fatalf("WriteFileFormat(%d): %v", tc.format, err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := uint16(b[4]) | uint16(b[5])<<8; got != tc.want {
+			t.Errorf("WriteFileFormat(%d) wrote version %d, want %d", tc.format, got, tc.want)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile after WriteFileFormat(%d): %v", tc.format, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("round trip via format %d mismatch", tc.format)
+		}
+	}
+	if err := s.WriteFileFormat(filepath.Join(dir, "bad.snap"), 9, nil); err == nil {
+		t.Error("WriteFileFormat(9) succeeded, want error")
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mmapFile on platforms without syscall.Mmap reports "no mapping"; Open falls
+// back to reading the whole file into the heap. The View API is identical,
+// only the zero-copy property is lost.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	return nil, false, nil
+}
+
+func munmapBytes(b []byte) error { return nil }

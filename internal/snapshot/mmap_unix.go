@@ -1,0 +1,27 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f. The mapping is MAP_PRIVATE with read+write
+// protection: readers only ever read it, but private copy-on-write pages mean
+// an accidental store through an aliased slice dirties an anonymous page
+// instead of faulting or reaching the file — strictly safer than PROT_READ
+// for memory handed out as ordinary Go slices.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

@@ -7,17 +7,22 @@
 // mutable server applied since its last snapshot, so replaying snapshot+WAL
 // reconstructs the exact pre-crash map.
 //
-// Format. A snapshot is a little-endian byte stream:
+// Two format versions exist. Version 1 is a little-endian byte stream:
 //
 //	magic "RNHM" | u16 format version | body | u32 CRC-32 (IEEE) of the body
 //
-// The body layout is fixed per format version and documented field by field
-// in encodeBody. Compatibility policy: readers accept exactly the format
-// versions they know (currently only Version); any layout change bumps the
-// version, and old files are rejected with a clear error rather than
-// misparsed. Every slice is length-prefixed and lengths are validated
-// against sane bounds before allocation, so a corrupt or truncated file
-// fails fast instead of OOM-ing the loader.
+// whose body layout is documented field by field in encodeBody. Version 2
+// (format2.go, view.go) shares the magic and version header but lays the
+// map out as fixed-width sections behind an offset table, each CRC-framed
+// individually, so the file can be mmap'd and queried with no decode step
+// (snapshot.Open). Compatibility policy: readers accept exactly the format
+// versions they know (currently 1 and 2); any layout change bumps the
+// version, and unknown files are rejected with a clear error rather than
+// misparsed. Writers emit v2 by default (WriteFileFormat); v1 stays
+// writable as a rollback escape hatch. Every slice length read from a v1
+// stream is validated against sane bounds before allocation, and every v2
+// section is bounds- and CRC-checked at open, so a corrupt or truncated
+// file fails fast instead of OOM-ing the loader.
 package snapshot
 
 import (
@@ -155,7 +160,8 @@ func (s *Snapshot) encodeBody(e *encoder) {
 }
 
 // Decode reads one snapshot from r, verifying the magic, format version and
-// checksum.
+// checksums. It accepts both format versions: v1 streams through the field
+// decoder; v2 is buffered, validated as a View and materialized.
 func Decode(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var head [6]byte
@@ -165,8 +171,20 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if [4]byte(head[:4]) != magic {
 		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", head[:4])
 	}
-	if v := binary.LittleEndian.Uint16(head[4:6]); v != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	switch v := binary.LittleEndian.Uint16(head[4:6]); v {
+	case Version:
+	case Version2:
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		view, err := newView(append(head[:], rest...), false)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		return view.Snapshot(), nil
+	default:
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions %d and %d)", v, Version, Version2)
 	}
 	crc := crc32.NewIEEE()
 	d := &decoder{r: br, crc: crc}
@@ -316,42 +334,18 @@ func decodeSpec(d *decoder) influence.Spec {
 func MapPath(dir, name string) string { return filepath.Join(dir, name+".snap") }
 func WALPath(dir, name string) string { return filepath.Join(dir, name+".wal") }
 
-// WriteFile atomically writes the snapshot to path: the bytes go to a
-// temporary file in the same directory which is fsynced and renamed over
-// path, so a crash mid-save leaves the previous snapshot intact.
+// WriteFile atomically writes the snapshot to path in format v1: the bytes
+// go to a temporary file in the same directory which is fsynced and renamed
+// over path, so a crash mid-save leaves the previous snapshot intact. (The
+// directory is fsynced too: the server resets the WAL right after a snapshot
+// save, and if the rename were still only in the page cache a power failure
+// would roll back to the old snapshot with an already-emptied log — losing
+// acknowledged mutations.)
 func (s *Snapshot) WriteFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := s.Encode(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	// Fsync the directory so the rename itself is durable. The server
-	// resets the WAL right after a snapshot save; if the new directory
-	// entry were still only in the page cache at that point, a power
-	// failure would roll back to the old snapshot with an already-emptied
-	// log — losing acknowledged mutations.
-	if err := syncDir(dir); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	return nil
+	return s.writeFileWith(path, s.Encode)
 }
 
-// ReadFile loads a snapshot written by WriteFile.
+// ReadFile loads a snapshot written by WriteFile or WriteFileV2.
 func ReadFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {

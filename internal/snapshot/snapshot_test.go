@@ -102,7 +102,7 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	})
 	t.Run("future version", func(t *testing.T) {
 		b := append([]byte(nil), good...)
-		binary.LittleEndian.PutUint16(b[4:6], Version+1)
+		binary.LittleEndian.PutUint16(b[4:6], Version2+1)
 		if _, err := Decode(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
 			t.Errorf("Decode of future version: %v, want version error", err)
 		}

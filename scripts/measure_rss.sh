@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# measure_rss.sh — serving-RSS comparison for the three snapshot load paths.
+#
+# Builds a dense L2 map once (10 clients per facility, the densest L2
+# regime whose slab decomposition fits the cell cap, so the v2 file embeds
+# the point-location index), saves it as format v1
+# and format v2, then restores it three ways and reports each process's peak
+# resident set (VmHWM, via crest -mem-stats):
+#
+#   v1-decode   LoadSnapshot on the v1 file: every circle, label and interned
+#               set decoded to heap objects.
+#   v2-decode   LoadSnapshot forced on the v2 file (-load-mode decode): same
+#               heap shape, sectioned input.
+#   v2-mmap     OpenSnapshot on the v2 file: the zero-copy serving path —
+#               resident pages are the touched sections plus the Go runtime,
+#               not the decoded arrangement.
+#
+# Every restore answers the same stats/max-heat queries (-topk 0 keeps the
+# mapped path from materializing), so the numbers compare like for like. The
+# result is informational: RSS depends on the allocator, the page size and
+# what the kernel keeps resident, so CI prints it next to bench-regress
+# instead of hard-gating on it (run via `make bench-rss`).
+#
+# Usage: scripts/measure_rss.sh [clients] [facilities]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIENTS=${1:-1000}
+FACILITIES=${2:-100}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "building crest..."
+go build -o "$workdir/crest" ./cmd/crest
+
+echo "building dense L2 map (${CLIENTS} clients, ${FACILITIES} facilities)..."
+"$workdir/crest" -dataset Uniform -clients "$CLIENTS" -facilities "$FACILITIES" \
+    -metric l2 -topk 0 -save-snapshot "$workdir/snap_v2" >/dev/null
+"$workdir/crest" -load-snapshot "$workdir/snap_v2" -topk 0 \
+    -save-snapshot "$workdir/snap_v1" -snapshot-format v1 >/dev/null
+ls -l "$workdir/snap_v1" "$workdir/snap_v2" | awk '{print "  " $NF ": " $5 " bytes"}'
+
+# Peak RSS (VmHWM) alone flatters neither path: the mmap loader's CRC pass
+# faults in every file page, so its peak is roughly the file size — but those
+# pages are file-backed and reclaimable. RssAnon is the unreclaimable heap,
+# and that is where the decode paths pay and the mapped path doesn't.
+measure() { # name, crest args...
+    local name=$1
+    shift
+    local out hwm anon load
+    out=$("$workdir/crest" "$@" -topk 0 -mem-stats)
+    hwm=$(awk '/^VmHWM:/ {print $2 " " $3}' <<<"$out")
+    anon=$(awk '/^RssAnon:/ {print $2 " " $3}' <<<"$out")
+    load=$(sed -n 's/.*loaded in \([^:]*\):.*/\1/p' <<<"$out")
+    if [ -z "$hwm" ]; then
+        echo "  $name: VmHWM unavailable (non-Linux?)"
+        return
+    fi
+    printf '  %-10s peak RSS %-12s heap (RssAnon) %-12s load %s\n' \
+        "$name" "$hwm" "${anon:-n/a}" "$load"
+}
+
+echo "peak resident set per load path:"
+measure v1-decode -load-snapshot "$workdir/snap_v1" -load-mode decode
+measure v2-decode -load-snapshot "$workdir/snap_v2" -load-mode decode
+measure v2-mmap -load-snapshot "$workdir/snap_v2" -load-mode mmap
