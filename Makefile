@@ -3,15 +3,15 @@ GO ?= go
 # BENCH_OUT is where `make bench` writes its JSON snapshot; each PR bumps the
 # default instead of editing the recipe. Override per run:
 #   make bench BENCH_OUT=/tmp/bench.json
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 # BENCH_BASELINE is the committed baseline `make bench-regress` gates against.
-BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR10.json
 # GATE_BENCH selects the hot-path benchmarks the regression gate watches;
 # MAX_REGRESS is the time/op growth (percent) that fails it, and
 # MAX_ALLOC_REGRESS the allocs/op growth (only checked for benchmarks whose
 # baseline recorded allocation metrics). CI reuses all three via
 # `make bench-compare`, so the gate is defined exactly once.
-GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt|BenchmarkIngestBatch|BenchmarkReadUnderWriteLoad|BenchmarkOptimal|BenchmarkGreedyPlace|BenchmarkSnapshotLoad
+GATE_BENCH ?= BenchmarkApplyDelta|BenchmarkTileServe|BenchmarkCRESTParallel|BenchmarkCRESTScaling|BenchmarkHeatAt|BenchmarkIngestBatch|BenchmarkReadUnderWriteLoad|BenchmarkOptimal|BenchmarkGreedyPlace|BenchmarkSnapshotLoad|BenchmarkWALShip
 MAX_REGRESS ?= 20
 MAX_ALLOC_REGRESS ?= 20
 # BENCH_NEW is the fresh run bench-compare gates against the baseline.

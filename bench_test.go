@@ -6,6 +6,7 @@
 package rnnheatmap
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -27,6 +28,7 @@ import (
 	"rnnheatmap/internal/nncircle"
 	"rnnheatmap/internal/render"
 	"rnnheatmap/internal/server"
+	"rnnheatmap/internal/snapshot"
 )
 
 // benchWorkload builds a reproducible workload of nO clients and nF
@@ -767,6 +769,68 @@ func BenchmarkReadUnderWriteLoad(b *testing.B) {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	p99 := lat[int(0.99*float64(len(lat)-1))]
 	b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-ms")
+}
+
+// BenchmarkWALShip measures the cluster replication hot path: one iteration
+// serves a full WAL fetch the way the owner's /cluster/maps/{map}/wal
+// endpoint does — Tail.RecordsSince over the on-disk log, then the CRC-framed
+// wire encoding — and replays the decode the replica performs before
+// ApplyDeltaBatch. The records/sec metric is the per-map ship ceiling; the
+// gate watches ns/op and allocs/op so pooling regressions on the tailing
+// path (the PR 10 surface) fail CI.
+func BenchmarkWALShip(b *testing.B) {
+	const (
+		nRecords = 256
+		opsPer   = 4
+	)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "ship.wal")
+	w, _, err := snapshot.OpenWAL(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(53))
+	pt := func() geom.Point { return geom.Pt(rng.Float64(), rng.Float64()) }
+	for v := uint64(1); v <= nRecords; v++ {
+		rec := snapshot.Record{Version: v, AddClients: []geom.Point{pt(), pt()}}
+		for i := 1; i < opsPer; i++ {
+			rec.Extra = append(rec.Extra, snapshot.Op{
+				AddClients:    []geom.Point{pt()},
+				RemoveClients: []int{int(v) % 7},
+			})
+		}
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tail, err := snapshot.OpenTail(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tail.Close()
+	defer w.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesShipped int64
+	for i := 0; i < b.N; i++ {
+		recs, err := tail.RecordsSince(0, nRecords, nRecords)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire := snapshot.EncodeRecords(recs)
+		got, err := snapshot.ReadRecords(bytes.NewReader(wire))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != nRecords || got[nRecords-1].Version != nRecords {
+			b.Fatalf("shipped %d records, want %d", len(got), nRecords)
+		}
+		bytesShipped += int64(len(wire))
+	}
+	b.StopTimer()
+	b.SetBytes(bytesShipped / int64(b.N))
+	b.ReportMetric(float64(b.N*nRecords)/b.Elapsed().Seconds(), "records/sec")
 }
 
 // BenchmarkSnapshotLoad measures cold-start restore of a dense L2 map (10

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"rnnheatmap/heatmap"
+	"rnnheatmap/internal/cluster"
 	"rnnheatmap/internal/dataset"
 	"rnnheatmap/internal/render"
 	"rnnheatmap/internal/server"
@@ -81,6 +82,10 @@ func main() {
 		load          = flag.Bool("load", false, "restore maps from -snapshot-dir at startup, replaying each WAL (skips the build when a default snapshot exists)")
 		saveEvery     = flag.Duration("save-every", 0, "autosave dirty maps to -snapshot-dir at this interval (0 = only on shutdown and explicit POST /maps/{name}/snapshot)")
 		pprofOn       = flag.Bool("pprof", false, "expose Go runtime profiling under /debug/pprof/ (see docs/PROFILING.md; do not enable on untrusted networks)")
+		clusterConfig = flag.String("cluster-config", "", "JSON topology file enabling cluster mode (static membership; requires -node-id, -mutable and -snapshot-dir)")
+		nodeID        = flag.String("node-id", "", "this node's ID in the -cluster-config topology")
+		shipInterval  = flag.Duration("ship-interval", 0, "replica WAL poll interval in cluster mode (0 = default)")
+		probeInterval = flag.Duration("probe-interval", 0, "peer health probe interval in cluster mode (0 = default)")
 	)
 	flag.Parse()
 
@@ -92,7 +97,9 @@ func main() {
 		tileSize: *tileSize, tileCache: *tileCache, colorMapName: *colorMapName,
 		mutable: *mutable, snapshotDir: *snapshotDir, snapFormat: *snapFormat, load: *load, saveEvery: *saveEvery,
 		coalesceMS: *coalesceMS, coalesceOps: *coalesceOps, ingestQueue: *ingestQueue,
-		pprof: *pprofOn,
+		pprof:         *pprofOn,
+		clusterConfig: *clusterConfig, nodeID: *nodeID,
+		shipInterval: *shipInterval, probeInterval: *probeInterval,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -118,6 +125,10 @@ type config struct {
 	coalesceOps               int
 	ingestQueue               int
 	pprof                     bool
+	clusterConfig             string
+	nodeID                    string
+	shipInterval              time.Duration
+	probeInterval             time.Duration
 }
 
 func run(cfg config) error {
@@ -130,6 +141,27 @@ func run(cfg config) error {
 	}
 	if cfg.saveEvery < 0 || (cfg.saveEvery > 0 && cfg.snapshotDir == "") {
 		return fmt.Errorf("-save-every requires -snapshot-dir and a non-negative interval")
+	}
+	var clusterOpts *server.ClusterOptions
+	if cfg.clusterConfig != "" || cfg.nodeID != "" {
+		if cfg.clusterConfig == "" || cfg.nodeID == "" {
+			return fmt.Errorf("cluster mode needs both -cluster-config and -node-id")
+		}
+		if !cfg.mutable || cfg.snapshotDir == "" {
+			// The owner ships its WAL and serves its snapshot file; replicas
+			// bootstrap into -snapshot-dir. Neither exists without these.
+			return fmt.Errorf("-cluster-config requires -mutable and -snapshot-dir")
+		}
+		topo, err := cluster.LoadTopology(cfg.clusterConfig)
+		if err != nil {
+			return err
+		}
+		clusterOpts = &server.ClusterOptions{
+			Topology:      topo,
+			NodeID:        cfg.nodeID,
+			ShipInterval:  cfg.shipInterval,
+			ProbeInterval: cfg.probeInterval,
+		}
 	}
 
 	// With -load and a default snapshot on disk, the expensive Build is
@@ -181,6 +213,7 @@ func run(cfg config) error {
 		SnapshotDir:    cfg.snapshotDir,
 		SnapshotFormat: format,
 		Load:           cfg.load,
+		Cluster:        clusterOpts,
 	})
 	if err != nil {
 		return err
@@ -191,6 +224,10 @@ func run(cfg config) error {
 	}
 	if cfg.snapshotDir != "" {
 		log.Printf("persisting maps to %s (autosave %v)", cfg.snapshotDir, cfg.saveEvery)
+	}
+	if clusterOpts != nil {
+		log.Printf("cluster mode: node %q in a %d-node topology (replicas=%d, vnodes=%d)",
+			cfg.nodeID, len(clusterOpts.Topology.Nodes), clusterOpts.Topology.Replicas, clusterOpts.Topology.VNodes)
 	}
 
 	var handler http.Handler = srv

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"rnnheatmap/internal/snapshot"
+)
+
+// VersionHeader carries a map's published version on WAL and snapshot
+// responses; NodeHeader identifies which node actually served a response
+// (set on proxied reads so clients can see the failover path).
+const (
+	VersionHeader = "X-Heatmap-Version"
+	NodeHeader    = "X-Heatmap-Node"
+	// ForwardedHeader marks a proxied request; a node receiving one never
+	// proxies again, turning a routing loop into a clean 404.
+	ForwardedHeader = "X-Heatmap-Forwarded"
+)
+
+// ErrSnapshotNeeded is returned by FetchWAL when the owner compacted the
+// requested records into a snapshot (HTTP 410): the replica must bootstrap
+// from the snapshot and resume tailing from its version.
+var ErrSnapshotNeeded = errors.New("cluster: records compacted; bootstrap from snapshot")
+
+// ErrNotFound is returned when the peer does not serve the requested map
+// (HTTP 404) — the map was deleted, or placement disagrees.
+var ErrNotFound = errors.New("cluster: map not found on peer")
+
+// MapVersion is one entry of a peer's owned-map listing.
+type MapVersion struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+}
+
+// Client is the HTTP client peers use to talk to each other: health pings,
+// owned-map discovery, WAL tailing and snapshot bootstrap.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient builds a peer client with the given per-request timeout
+// (0 means 30s). The timeout bounds the whole exchange, snapshot bodies
+// included.
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{hc: &http.Client{Timeout: timeout}}
+}
+
+func (c *Client) get(ctx context.Context, addr, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return resp, nil
+}
+
+// drainClose discards the body so the connection is reusable.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}
+
+// Ping checks liveness of the peer at addr.
+func (c *Client) Ping(ctx context.Context, addr string) error {
+	resp, err := c.get(ctx, addr, "/v1/cluster/ping")
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: ping %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// OwnedMaps lists the maps the peer at addr currently owns, with their
+// published versions. Replica managers poll this to discover maps they
+// should hold.
+func (c *Client) OwnedMaps(ctx context.Context, addr string) ([]MapVersion, error) {
+	resp, err := c.get(ctx, addr, "/v1/cluster/maps")
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: maps %s: HTTP %d", addr, resp.StatusCode)
+	}
+	var body struct {
+		Maps []MapVersion `json:"maps"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<24)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("cluster: maps %s: %w", addr, err)
+	}
+	return body.Maps, nil
+}
+
+// FetchWAL tails the owner's WAL for name: up to max records with
+// Version > since (0 = owner's choice of batch bound), plus the owner's
+// published version for lag accounting. ErrSnapshotNeeded reports that the
+// range was compacted.
+func (c *Client) FetchWAL(ctx context.Context, addr, name string, since uint64, max int) ([]snapshot.Record, uint64, error) {
+	q := url.Values{"since": {strconv.FormatUint(since, 10)}}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	resp, err := c.get(ctx, addr, "/v1/cluster/maps/"+url.PathEscape(name)+"/wal?"+q.Encode())
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return nil, 0, ErrSnapshotNeeded
+	case http.StatusNotFound:
+		return nil, 0, ErrNotFound
+	default:
+		return nil, 0, fmt.Errorf("cluster: wal %s/%s: HTTP %d", addr, name, resp.StatusCode)
+	}
+	owner, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: wal %s/%s: bad %s header: %w", addr, name, VersionHeader, err)
+	}
+	recs, err := snapshot.ReadRecords(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: wal %s/%s: %w", addr, name, err)
+	}
+	return recs, owner, nil
+}
+
+// FetchSnapshot streams the owner's current v2 snapshot file for name into
+// w, returning the snapshot's map version and the bytes transferred. The
+// owner serves the mmap-friendly on-disk file directly, so the transfer is
+// a sendfile-shaped copy, not an encode.
+func (c *Client) FetchSnapshot(ctx context.Context, addr, name string, w io.Writer) (version uint64, n int64, err error) {
+	resp, err := c.get(ctx, addr, "/v1/cluster/maps/"+url.PathEscape(name)+"/snapshot")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return 0, 0, ErrNotFound
+	default:
+		return 0, 0, fmt.Errorf("cluster: snapshot %s/%s: HTTP %d", addr, name, resp.StatusCode)
+	}
+	version, err = strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: snapshot %s/%s: bad %s header: %w", addr, name, VersionHeader, err)
+	}
+	n, err = io.Copy(w, resp.Body)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: snapshot %s/%s: %w", addr, name, err)
+	}
+	return version, n, nil
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rnnheatmap/internal/geom"
+	"rnnheatmap/internal/snapshot"
+)
+
+func TestLoadTopology(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	cfg := `{"nodes":[{"id":"a","addr":"127.0.0.1:1"},{"id":"b","addr":"127.0.0.1:2"},{"id":"c","addr":"127.0.0.1:3"}],"replicas":2}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopology(path)
+	if err != nil {
+		t.Fatalf("LoadTopology: %v", err)
+	}
+	if topo.Replicas != 2 || topo.VNodes != defaultVNodes {
+		t.Errorf("normalized topology = %+v, want replicas=2 vnodes=%d", topo, defaultVNodes)
+	}
+	if got := topo.NodeIDs(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("NodeIDs = %v", got)
+	}
+	if n, ok := topo.Node("b"); !ok || n.Addr != "127.0.0.1:2" {
+		t.Errorf("Node(b) = %+v, %v", n, ok)
+	}
+	if _, ok := topo.Node("nope"); ok {
+		t.Error("Node(nope) found")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	t.Parallel()
+	for name, topo := range map[string]Topology{
+		"no nodes":      {},
+		"empty id":      {Nodes: []Node{{Addr: "x"}}},
+		"empty addr":    {Nodes: []Node{{ID: "a"}}},
+		"duplicate id":  {Nodes: []Node{{ID: "a", Addr: "x"}, {ID: "a", Addr: "y"}}},
+		"replicas high": {Nodes: []Node{{ID: "a", Addr: "x"}}, Replicas: 2},
+		"bad vnodes":    {Nodes: []Node{{ID: "a", Addr: "x"}}, VNodes: -1},
+	} {
+		topo := topo
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := topo.Normalize(); err == nil {
+				t.Errorf("Normalize accepted %+v", topo)
+			}
+		})
+	}
+}
+
+// TestRingPlacement: deterministic, holder lists are distinct nodes with the
+// owner first, and load spreads across nodes.
+func TestRingPlacement(t *testing.T) {
+	t.Parallel()
+	ids := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(ids, 64)
+	r2 := NewRing([]string{"e", "d", "c", "b", "a"}, 64) // order-independent input
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("map-%d", i)
+		holders := r.Holders(key, 3)
+		if len(holders) != 3 {
+			t.Fatalf("Holders(%q, 3) = %v", key, holders)
+		}
+		seen := map[string]bool{}
+		for _, h := range holders {
+			if seen[h] {
+				t.Fatalf("Holders(%q) repeats node %q", key, h)
+			}
+			seen[h] = true
+		}
+		if holders[0] != r.Owner(key) {
+			t.Fatalf("Owner(%q) = %q, holders[0] = %q", key, r.Owner(key), holders[0])
+		}
+		if got := r2.Holders(key, 3); !reflect.DeepEqual(got, holders) {
+			t.Fatalf("ring built from reordered ids diverges for %q: %v vs %v", key, got, holders)
+		}
+		counts[holders[0]]++
+	}
+	for _, id := range ids {
+		if counts[id] < 100 {
+			t.Errorf("node %s owns only %d/1000 maps: placement badly skewed (%v)", id, counts[id], counts)
+		}
+	}
+	// Clamping: more holders than nodes yields every node once.
+	if got := r.Holders("m", 99); len(got) != len(ids) {
+		t.Errorf("Holders clamped = %v, want all %d nodes", got, len(ids))
+	}
+}
+
+// TestRingStability: removing one node only moves keys that node held —
+// the consistent-hashing contract that makes topology edits cheap.
+func TestRingStability(t *testing.T) {
+	t.Parallel()
+	before := NewRing([]string{"a", "b", "c", "d"}, 64)
+	after := NewRing([]string{"a", "b", "d"}, 64)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("map-%d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was != "c" && was != is {
+			t.Fatalf("key %q moved from surviving node %q to %q", key, was, is)
+		}
+		if was == "c" {
+			moved++
+		}
+	}
+	if moved == 0 || moved > 500 {
+		t.Errorf("removing 1 of 4 nodes moved %d/1000 keys", moved)
+	}
+}
+
+func TestHealthTable(t *testing.T) {
+	t.Parallel()
+	h := NewHealth([]string{"a", "b"})
+	if !h.Alive("a") || !h.Alive("b") {
+		t.Error("peers must start alive")
+	}
+	if h.Alive("ghost") {
+		t.Error("unknown peer reported alive")
+	}
+	h.Report("a", errors.New("connection refused"))
+	if h.Alive("a") {
+		t.Error("failed probe left peer alive")
+	}
+	h.Report("ghost", nil) // ignored, not in topology
+	if h.Alive("ghost") {
+		t.Error("report resurrected an unknown peer")
+	}
+	h.Report("a", nil)
+	if !h.Alive("a") {
+		t.Error("successful probe left peer dead")
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 || !snap["a"].Alive || snap["a"].LastOK.IsZero() {
+		t.Errorf("Snapshot = %+v", snap)
+	}
+	if snap["a"].Err != "" {
+		t.Errorf("recovered peer still carries error %q", snap["a"].Err)
+	}
+}
+
+// stubPeer fakes the owner-side cluster endpoints the Client consumes.
+func stubPeer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"node":"stub"}`)
+	})
+	mux.HandleFunc("GET /v1/cluster/maps", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"maps":[{"name":"default","version":7},{"name":"tenant","version":3}]}`)
+	})
+	mux.HandleFunc("GET /v1/cluster/maps/{map}/wal", func(w http.ResponseWriter, r *http.Request) {
+		switch r.PathValue("map") {
+		case "default":
+			if r.URL.Query().Get("since") == "1" {
+				w.Header().Set(VersionHeader, "7")
+				_, _ = w.Write(snapshot.EncodeRecords([]snapshot.Record{
+					{Version: 2, AddClients: []geom.Point{{X: 1, Y: 2}}},
+					{Version: 3, RemoveClients: []int{0}},
+				}))
+				return
+			}
+			http.Error(w, "compacted", http.StatusGone)
+		default:
+			http.Error(w, "no such map", http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("GET /v1/cluster/maps/{map}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("map") != "default" {
+			http.Error(w, "no such map", http.StatusNotFound)
+			return
+		}
+		w.Header().Set(VersionHeader, "7")
+		_, _ = w.Write([]byte("snapshot-bytes"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientAgainstStubPeer(t *testing.T) {
+	t.Parallel()
+	srv := stubPeer(t)
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	c := NewClient(5 * time.Second)
+	ctx := context.Background()
+
+	if err := c.Ping(ctx, addr); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := c.Ping(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("Ping against a closed port succeeded")
+	}
+
+	maps, err := c.OwnedMaps(ctx, addr)
+	if err != nil {
+		t.Fatalf("OwnedMaps: %v", err)
+	}
+	want := []MapVersion{{Name: "default", Version: 7}, {Name: "tenant", Version: 3}}
+	if !reflect.DeepEqual(maps, want) {
+		t.Errorf("OwnedMaps = %+v, want %+v", maps, want)
+	}
+
+	recs, owner, err := c.FetchWAL(ctx, addr, "default", 1, 0)
+	if err != nil {
+		t.Fatalf("FetchWAL: %v", err)
+	}
+	if owner != 7 || len(recs) != 2 || recs[0].Version != 2 || recs[1].Version != 3 {
+		t.Errorf("FetchWAL = %+v, owner %d", recs, owner)
+	}
+	if _, _, err := c.FetchWAL(ctx, addr, "default", 0, 0); !errors.Is(err, ErrSnapshotNeeded) {
+		t.Errorf("FetchWAL(compacted) = %v, want ErrSnapshotNeeded", err)
+	}
+	if _, _, err := c.FetchWAL(ctx, addr, "ghost", 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("FetchWAL(ghost) = %v, want ErrNotFound", err)
+	}
+
+	var buf bytes.Buffer
+	version, n, err := c.FetchSnapshot(ctx, addr, "default", &buf)
+	if err != nil {
+		t.Fatalf("FetchSnapshot: %v", err)
+	}
+	if version != 7 || n != int64(len("snapshot-bytes")) || buf.String() != "snapshot-bytes" {
+		t.Errorf("FetchSnapshot = v%d, %d bytes, %q", version, n, buf.String())
+	}
+	if _, _, err := c.FetchSnapshot(ctx, addr, "ghost", &buf); !errors.Is(err, ErrNotFound) {
+		t.Errorf("FetchSnapshot(ghost) = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// PeerStatus is one node's health as seen by the local prober.
+type PeerStatus struct {
+	Alive     bool      `json:"alive"`
+	LastProbe time.Time `json:"last_probe"`
+	LastOK    time.Time `json:"last_ok"`
+	Err       string    `json:"error,omitempty"`
+}
+
+// Health is the local node's view of its peers, fed by the periodic prober
+// and by organic request failures, and consulted by the read-failover path:
+// a proxy target marked dead is skipped in favor of the next holder. Nodes
+// start alive — optimism costs one failed request, pessimism would refuse
+// serveable reads at startup.
+type Health struct {
+	mu    sync.Mutex
+	peers map[string]*PeerStatus
+}
+
+// NewHealth builds a table for the given peer IDs, all initially alive.
+func NewHealth(ids []string) *Health {
+	h := &Health{peers: make(map[string]*PeerStatus, len(ids))}
+	for _, id := range ids {
+		h.peers[id] = &PeerStatus{Alive: true}
+	}
+	return h
+}
+
+// Report records the outcome of a probe or organic request to peer id.
+func (h *Health) Report(id string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return
+	}
+	now := time.Now()
+	p.LastProbe = now
+	if err != nil {
+		p.Alive = false
+		p.Err = err.Error()
+		return
+	}
+	p.Alive = true
+	p.LastOK = now
+	p.Err = ""
+}
+
+// Alive reports whether peer id is believed reachable. Unknown peers are
+// dead: they are not in the topology, so no route should use them.
+func (h *Health) Alive(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	return ok && p.Alive
+}
+
+// Snapshot copies the full table for /v1/cluster/status.
+func (h *Health) Snapshot() map[string]PeerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]PeerStatus, len(h.peers))
+	for id, p := range h.peers {
+		out[id] = *p
+	}
+	return out
+}

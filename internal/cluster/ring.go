@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is the consistent-hash placement ring: every node contributes vnodes
+// points, a map name hashes to a point, and its holders are the next
+// distinct nodes clockwise. Placement therefore depends only on the set of
+// node IDs and the vnode count — every node computes the same ring from the
+// same topology file, with no coordination.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds a ring over the given node IDs with vnodes virtual points
+// per node.
+func NewRing(ids []string, vnodes int) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(ids)*vnodes), nodes: len(ids)}
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", id, v)), node: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit fnv) break by node ID so
+		// every node still sorts the ring identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first node clockwise from the
+// key's hash. The owner serializes all writes for the key.
+func (r *Ring) Owner(key string) string {
+	return r.Holders(key, 1)[0]
+}
+
+// Holders returns the n distinct nodes holding key, owner first, walking
+// clockwise from the key's hash. n is clamped to the node count.
+func (r *Ring) Holders(key string, n int) []string {
+	if n > r.nodes {
+		n = r.nodes
+	}
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	holders := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(holders) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			holders = append(holders, p.node)
+		}
+	}
+	return holders
+}

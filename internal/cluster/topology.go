@@ -1,0 +1,118 @@
+// Package cluster holds the primitives of heatmapd's static-topology
+// cluster mode: the config-file topology, the consistent-hash placement
+// ring, the health table the read-failover path consults, and the HTTP
+// client peers use to ping each other, tail WAL records and fetch
+// bootstrap snapshots. The server layer composes these into routing and
+// replication; this package deliberately knows nothing about maps or
+// handlers, so it can be tested with plain strings and httptest stubs.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Node is one heatmapd process in the topology: a stable identifier (the
+// hash-ring key, so renaming a node reshuffles its maps) and the host:port
+// its HTTP API listens on.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Topology is the cluster config file: the full static membership plus the
+// placement parameters. There is no dynamic join/leave — changing the file
+// and restarting the nodes is the resize procedure, and consistent hashing
+// keeps the reshuffle proportional to the change.
+type Topology struct {
+	// Nodes is the complete membership. Order does not matter; placement
+	// depends only on the IDs.
+	Nodes []Node `json:"nodes"`
+	// Replicas is the number of copies of each map, the owner included.
+	// Defaults to min(2, len(Nodes)): one owner plus one read replica.
+	Replicas int `json:"replicas,omitempty"`
+	// VNodes is the virtual-node count per node on the placement ring.
+	// Defaults to 64, enough to keep per-node load within a few percent of
+	// even for small clusters.
+	VNodes int `json:"vnodes,omitempty"`
+}
+
+const (
+	defaultVNodes = 64
+)
+
+// LoadTopology reads, validates and normalizes the topology file at path.
+func LoadTopology(path string) (*Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var t Topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("cluster: parsing %s: %w", path, err)
+	}
+	if err := t.Normalize(); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Normalize validates the topology and fills in defaulted parameters.
+func (t *Topology) Normalize() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("topology has no nodes")
+	}
+	seen := make(map[string]bool, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("node %d has an empty id", i)
+		}
+		if n.Addr == "" {
+			return fmt.Errorf("node %q has an empty addr", n.ID)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if t.Replicas == 0 {
+		t.Replicas = min(2, len(t.Nodes))
+	}
+	if t.Replicas < 1 || t.Replicas > len(t.Nodes) {
+		return fmt.Errorf("replicas = %d with %d nodes; need 1 <= replicas <= nodes", t.Replicas, len(t.Nodes))
+	}
+	if t.VNodes == 0 {
+		t.VNodes = defaultVNodes
+	}
+	if t.VNodes < 1 {
+		return fmt.Errorf("vnodes = %d; need at least 1", t.VNodes)
+	}
+	return nil
+}
+
+// Node returns the node with the given id.
+func (t *Topology) Node(id string) (Node, bool) {
+	for _, n := range t.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// NodeIDs returns the sorted node identifiers.
+func (t *Topology) NodeIDs() []string {
+	ids := make([]string, len(t.Nodes))
+	for i, n := range t.Nodes {
+		ids[i] = n.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Ring builds the topology's placement ring.
+func (t *Topology) Ring() *Ring {
+	return NewRing(t.NodeIDs(), t.VNodes)
+}

@@ -395,6 +395,11 @@ func (s *Server) SaveAll() error {
 // Close persists all dirty maps and closes their WALs. The server must not
 // serve requests afterwards.
 func (s *Server) Close() error {
+	// Stop the cluster loops first: a replica sync applying records (or a
+	// bootstrap renaming snapshot files) must not race the WAL teardown.
+	if s.cluster != nil {
+		s.cluster.stop()
+	}
 	err := s.SaveAll()
 	for _, inst := range s.instances() {
 		// Stop the ingestion writer before taking the writer lock (it may be
@@ -474,6 +479,12 @@ func (s *Server) handleCreateMap(w http.ResponseWriter, r *http.Request) {
 	}
 	if !mapNameRE.MatchString(req.Name) {
 		writeError(w, http.StatusBadRequest, "map name must match %s", mapNameRE)
+		return
+	}
+	// In cluster mode the requested name decides the owner; a non-owner
+	// redirects (307 preserves method and body) so the map is built, logged
+	// and persisted on the node that will serve its writes.
+	if s.cluster != nil && s.cluster.routeCreate(req.Name, w, r) {
 		return
 	}
 	if len(req.Clients) == 0 || len(req.Facilities) == 0 {

@@ -121,6 +121,12 @@ type Config struct {
 	// heatmap.SnapshotV1 as a rollback escape hatch for binaries that
 	// predate format v2. Loading accepts both formats regardless.
 	SnapshotFormat heatmap.SnapshotFormat
+	// Cluster, when non-nil, runs this server as one node of a static
+	// cluster: maps are placed onto nodes by consistent hashing, owners
+	// ship their WAL to read replicas, and requests for maps placed
+	// elsewhere are proxied (reads) or 307-redirected (writes). Requires
+	// Mutable, SnapshotDir and the v2 snapshot format. See cluster.go.
+	Cluster *ClusterOptions
 }
 
 // mapState is one immutable snapshot of a served map and everything derived
@@ -186,6 +192,11 @@ type Server struct {
 	// each also exists under /v1. The OpenAPI contract test walks it.
 	routeList [][2]string
 	started   time.Time
+
+	// cluster is the cluster-mode runtime (nil on single-node servers):
+	// placement ring, peer health, request routing, WAL shipping and the
+	// replica manager. See cluster.go.
+	cluster *clusterNode
 }
 
 // New builds a Server for the given configuration.
@@ -234,6 +245,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotFormat == 0 {
 		cfg.SnapshotFormat = heatmap.SnapshotV2
 	}
+	if cfg.Cluster != nil {
+		if err := cfg.Cluster.validate(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		mutable:       cfg.Mutable,
 		tileSize:      cfg.TileSize,
@@ -277,7 +293,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	// When Load restored a default map, it wins over cfg.Map: the caller
 	// asked for durability, and the snapshot is the durable state.
+	if cfg.Cluster != nil {
+		s.cluster = newClusterNode(s, cfg.Cluster)
+	}
 	s.routes()
+	if s.cluster != nil {
+		s.cluster.start()
+	}
 	return s, nil
 }
 
@@ -286,35 +308,59 @@ func New(cfg Config) (*Server, error) {
 // responses) and under this prefix, where errors use the structured envelope.
 const APIVersion = "v1"
 
+// routeKind classifies per-map endpoints for cluster routing: reads may be
+// served by any holder (owner or synced replica) and are proxied to one when
+// this node holds no authoritative copy; writes always 307-redirect to the
+// owner; local endpoints (node introspection like /stats) never leave the
+// node. On single-node servers the classification is inert.
+type routeKind int
+
+const (
+	routeLocal routeKind = iota
+	routeRead
+	routeWrite
+)
+
 // routes registers every endpoint in both its tenant form and its legacy
 // default-map alias, each additionally mounted under /v1.
 func (s *Server) routes() {
 	s.add("GET", "/healthz", s.handleHealthz)
 	s.add("GET", "/maps", s.handleListMaps)
 	s.add("POST", "/maps", s.handleCreateMap)
-	s.add("GET", "/maps/{map}", s.named(s.handleGetMap))
-	s.add("DELETE", "/maps/{map}", s.named(s.handleDeleteMap))
-	s.add("POST", "/maps/{map}/snapshot", s.named(s.handleSaveMap))
-	for pattern, h := range map[string]func(*mapInstance, http.ResponseWriter, *http.Request){
-		"GET /stats":             s.handleStats,
-		"GET /heat":              s.handleHeat,
-		"POST /heat/batch":       s.handleHeatBatch,
-		"GET /topk":              s.handleTopK,
-		"GET /regions":           s.handleRegions,
-		"GET /histogram":         s.handleHistogram,
-		"GET /optimal":           s.handleOptimal,
-		"POST /optimize":         s.handleOptimize,
-		"GET /tiles/{z}/{x}/{y}": s.handleTile,
-		"POST /mutations":        s.handleMutations,
-		"POST /clients":          s.handleAddClients,
-		"DELETE /clients":        s.handleRemoveClients,
-		"POST /facilities":       s.handleAddFacilities,
-		"DELETE /facilities":     s.handleRemoveFacilities,
+	s.add("GET", "/maps/{map}", s.named(routeRead, s.handleGetMap))
+	s.add("DELETE", "/maps/{map}", s.named(routeWrite, s.handleDeleteMap))
+	s.add("POST", "/maps/{map}/snapshot", s.named(routeWrite, s.handleSaveMap))
+	for pattern, e := range map[string]struct {
+		kind routeKind
+		h    func(*mapInstance, http.ResponseWriter, *http.Request)
+	}{
+		"GET /stats":             {routeLocal, s.handleStats},
+		"GET /heat":              {routeRead, s.handleHeat},
+		"POST /heat/batch":       {routeRead, s.handleHeatBatch},
+		"GET /topk":              {routeRead, s.handleTopK},
+		"GET /regions":           {routeRead, s.handleRegions},
+		"GET /histogram":         {routeRead, s.handleHistogram},
+		"GET /optimal":           {routeRead, s.handleOptimal},
+		"POST /optimize":         {routeWrite, s.handleOptimize},
+		"GET /tiles/{z}/{x}/{y}": {routeRead, s.handleTile},
+		"POST /mutations":        {routeWrite, s.handleMutations},
+		"POST /clients":          {routeWrite, s.handleAddClients},
+		"DELETE /clients":        {routeWrite, s.handleRemoveClients},
+		"POST /facilities":       {routeWrite, s.handleAddFacilities},
+		"DELETE /facilities":     {routeWrite, s.handleRemoveFacilities},
 	} {
 		method, path, _ := strings.Cut(pattern, " ")
-		s.add(method, path, s.onDefault(h))
-		s.add(method, "/maps/{map}"+path, s.named(h))
+		s.add(method, path, s.onDefault(e.kind, e.h))
+		s.add(method, "/maps/{map}"+path, s.named(e.kind, e.h))
 	}
+	// The cluster endpoints are always registered — the OpenAPI contract
+	// test walks the full route table — and answer not_clustered when the
+	// server runs single-node.
+	s.add("GET", "/cluster/ping", s.handleClusterPing)
+	s.add("GET", "/cluster/status", s.handleClusterStatus)
+	s.add("GET", "/cluster/maps", s.handleClusterMaps)
+	s.add("GET", "/cluster/maps/{map}/wal", s.handleClusterWAL)
+	s.add("GET", "/cluster/maps/{map}/snapshot", s.handleClusterSnapshot)
 }
 
 // add registers one endpoint twice: at its legacy path, and under /v1 with
@@ -352,17 +398,23 @@ func isV1(w http.ResponseWriter) bool {
 }
 
 // onDefault adapts a per-map handler to the legacy un-prefixed route.
-func (s *Server) onDefault(h func(*mapInstance, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+func (s *Server) onDefault(kind routeKind, h func(*mapInstance, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.clusterRoute(DefaultMapName, kind, w, r) {
+			return
+		}
 		h(s.def(), w, r)
 	}
 }
 
 // named adapts a per-map handler to its /maps/{map}/... route, resolving
 // the tenant and answering 404 for unknown names.
-func (s *Server) named(h func(*mapInstance, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+func (s *Server) named(kind routeKind, h func(*mapInstance, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("map")
+		if s.clusterRoute(name, kind, w, r) {
+			return
+		}
 		inst := s.lookup(name)
 		if inst == nil {
 			writeError(w, http.StatusNotFound, "no map named %q", name)
@@ -370,6 +422,16 @@ func (s *Server) named(h func(*mapInstance, http.ResponseWriter, *http.Request))
 		}
 		h(inst, w, r)
 	}
+}
+
+// clusterRoute lets cluster mode intercept a per-map request (redirect,
+// proxy or refuse); false means "serve locally". Single-node servers and
+// node-local endpoints always serve locally.
+func (s *Server) clusterRoute(name string, kind routeKind, w http.ResponseWriter, r *http.Request) bool {
+	if s.cluster == nil || kind == routeLocal {
+		return false
+	}
+	return s.cluster.route(name, kind == routeWrite, w, r)
 }
 
 // heatRange returns the fixed normalization range for tiles: from the
@@ -437,6 +499,8 @@ const (
 	codeQueueFull         = "queue_full"
 	codeInternal          = "internal"
 	codeUnavailable       = "unavailable"
+	codeNotClustered      = "not_clustered"
+	codeCompacted         = "compacted"
 )
 
 // errorCodeFor maps an HTTP status to its default envelope code; handlers
@@ -533,6 +597,10 @@ type statsResponse struct {
 	Ingest        ingestStats `json:"ingest"`
 	QueryIndex    queryIndex  `json:"query_index"`
 	Optimal       optimStats  `json:"optimal"`
+	// Cluster reports this node's role for the polled map and the node-wide
+	// replication counters (replica lag, ship latency, bootstrap bytes).
+	// Omitted on single-node servers.
+	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
 // optimStats counts the optimal-location traffic: /optimal queries,
@@ -618,6 +686,10 @@ func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.R
 	maxHeat, _ := st.m.MaxHeat()
 	sum := st.summary
 	hits, misses, waited := inst.cache.stats()
+	var clusterSection *clusterStats
+	if s.cluster != nil {
+		clusterSection = s.cluster.statsOf(inst)
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Name:           inst.name,
 		Measure:        st.m.MeasureName(),
@@ -663,6 +735,7 @@ func (s *Server) handleStats(inst *mapInstance, w http.ResponseWriter, r *http.R
 			OptimizeRuns: inst.optimizeRuns.Load(),
 			Placements:   inst.placements.Load(),
 		},
+		Cluster: clusterSection,
 	})
 }
 

@@ -99,6 +99,13 @@ type View struct {
 // Open maps the v2 snapshot at path and validates it. For a v1 file it
 // returns an error wrapping ErrFormatV1 so callers can fall back to ReadFile.
 func Open(path string) (*View, error) {
+	return open(path, true)
+}
+
+// open is Open with the mmap attempt controllable: allowMmap=false forces
+// the plain-read fallback every !unix build takes, letting the parity test
+// exercise that path on any platform.
+func open(path string, allowMmap bool) (*View, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
@@ -130,7 +137,11 @@ func Open(path string) (*View, error) {
 			path, v, Version, Version2)
 	}
 
-	data, mapped, err := mmapFile(f, int(size))
+	var data []byte
+	var mapped bool
+	if allowMmap {
+		data, mapped, err = mmapFile(f, int(size))
+	}
 	if err != nil || !mapped {
 		// No mmap on this platform (or mapping failed): fall back to a plain
 		// read. The View works identically over heap bytes.
@@ -164,6 +175,14 @@ func (v *View) Close() error {
 // Mapped reports whether the view's arrays alias an mmap'd file (as opposed
 // to a heap buffer).
 func (v *View) Mapped() bool { return v.mapped }
+
+// Bytes exposes the raw snapshot file contents backing the view. Cluster
+// bootstrap serves these directly — the replica installs the owner's literal
+// file, so the two nodes hold byte-identical snapshots — and because a
+// mapped view keeps its inode alive, serving stays consistent even while a
+// concurrent save renames a newer file into place. The slice aliases the
+// mapping: it must not be written to, and not used after Close.
+func (v *View) Bytes() []byte { return v.data }
 
 // newView parses and validates the sectioned layout over data.
 func newView(data []byte, mapped bool) (*View, error) {

@@ -30,7 +30,7 @@ rnnheatmap/internal/postprocess 95
 rnnheatmap/internal/render 83
 rnnheatmap/internal/rtree 94
 rnnheatmap/internal/server 80
-rnnheatmap/internal/snapshot 83
+rnnheatmap/internal/snapshot 85
 '
 
 out=$(mktemp)
